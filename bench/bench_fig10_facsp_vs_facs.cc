@@ -1,0 +1,78 @@
+// Reproduces paper Fig. 10: "Performance of proposed FACS-P with FACS" —
+// the headline result.
+//
+// Paper shape: FACS-P above FACS while N < ~25; beyond that the proposed
+// system accepts fewer new connections because the RTC/NRTC priority
+// weighting protects the QoS of on-going calls.  At N=100 the paper reads
+// ~52% (proposed) vs ~63% (previous).
+#include "bench_common.h"
+
+int main() {
+  using namespace facsp;
+  using namespace facsp::bench;
+
+  std::cout << "=== Fig. 10 reproduction: FACS-P vs FACS ===\n";
+  const auto scenario = core::paper_scenario();
+  std::vector<sim::Series> series;
+  const auto fig = run_acceptance_figure(
+      "Fig. 10 — Performance of proposed FACS-P with FACS", scenario,
+      {{"FACS-P (proposed)", core::make_facs_p_factory()},
+       {"FACS (previous)", core::make_facs_factory()}},
+      &series);
+
+  const auto& fp = series[0];
+  const auto& f = series[1];
+  std::vector<core::ShapeCheck> checks;
+  checks.push_back({"FACS-P at least on par with FACS at N=10", false, ""});
+  checks.back().passed = fp.y_at(10) >= f.y_at(10) - 2.0;
+  checks.back().details = std::to_string(fp.y_at(10)) + "% vs " +
+                          std::to_string(f.y_at(10)) + "%";
+
+  checks.push_back({"FACS-P at least on par with FACS at N=20", false, ""});
+  checks.back().passed = fp.y_at(20) >= f.y_at(20) - 2.0;
+
+  const auto cross = core::crossover_x(fp, f);
+  checks.push_back(
+      {"FACS-P crosses below FACS near N=25 (paper: 25)", false, ""});
+  if (cross) {
+    checks.back().passed = *cross >= 15.0 && *cross <= 50.0;
+    checks.back().details = "crossover at N=" + std::to_string(*cross);
+  } else {
+    checks.back().details = "no crossover detected";
+  }
+
+  checks.push_back(
+      {"FACS-P accepts fewer new calls at N=100 (QoS protection)", false,
+       ""});
+  checks.back().passed = fp.y_at(100) < f.y_at(100);
+  checks.back().details = std::to_string(fp.y_at(100)) + "% vs " +
+                          std::to_string(f.y_at(100)) + "%";
+
+  checks.push_back({"both curves non-increasing with load", false, ""});
+  checks.back().passed =
+      core::is_non_increasing(fp, 6.0) && core::is_non_increasing(f, 6.0);
+
+  // Extended metric backing the paper's claim: on-going-call protection.
+  {
+    core::SweepConfig heavy;
+    heavy.n_values = {80};
+    heavy.replications = replications();
+    const auto drops_fp =
+        core::Experiment(scenario, core::make_facs_p_factory(), "FACS-P")
+            .run(heavy)
+            .dropping_series();
+    const auto drops_f =
+        core::Experiment(scenario, core::make_facs_factory(), "FACS")
+            .run(heavy)
+            .dropping_series();
+    core::ShapeCheck c;
+    c.description =
+        "FACS-P handoff dropping <= FACS at heavy load (on-going QoS)";
+    c.passed = drops_fp.y_at(80) <= drops_f.y_at(80) + 1.0;
+    c.details = std::to_string(drops_fp.y_at(80)) + "% vs " +
+                std::to_string(drops_f.y_at(80)) + "%";
+    checks.push_back(c);
+  }
+
+  return finish(fig, "fig10_facsp_vs_facs.csv", checks);
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig. 5: the membership functions of FLC1 (Sp, An, Sr,
+// Cv), printed as sampled curves and ASCII sparklines.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cac/facs_flc.h"
+
+namespace {
+
+void dump_variable(const facsp::fuzzy::LinguisticVariable& v, int samples) {
+  std::printf("-- %s over [%g, %g] --\n", v.name().c_str(), v.universe_lo(),
+              v.universe_hi());
+  // Header row of sampled x values.
+  std::printf("%-6s", "x:");
+  for (int i = 0; i < samples; ++i) {
+    const double x = v.universe_lo() +
+                     (v.universe_hi() - v.universe_lo()) * i / (samples - 1);
+    std::printf("%6.0f", x);
+  }
+  std::printf("\n");
+  for (std::size_t t = 0; t < v.term_count(); ++t) {
+    std::printf("%-6s", v.term(t).name.c_str());
+    for (int i = 0; i < samples; ++i) {
+      const double x =
+          v.universe_lo() +
+          (v.universe_hi() - v.universe_lo()) * i / (samples - 1);
+      std::printf("%6.2f", v.grade(t, x));
+    }
+    // Sparkline for a quick visual of the shape.
+    std::printf("   ");
+    static const char* kLevels = " .:-=+*#";
+    for (int i = 0; i < 48; ++i) {
+      const double x = v.universe_lo() +
+                       (v.universe_hi() - v.universe_lo()) * i / 47.0;
+      const int level =
+          static_cast<int>(v.grade(t, x) * 7.0 + 0.5);
+      std::printf("%c", kLevels[level]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace facsp::cac;
+  std::cout << "=== Fig. 5 reproduction: FLC1 membership functions ===\n\n";
+  dump_variable(make_speed_variable(), 9);             // (a) Sp
+  dump_variable(make_angle_variable(), 9);             // (b) An
+  dump_variable(make_service_request_variable(), 11);  // (c) Sr
+  dump_variable(make_correction_output_variable(), 9); // (d) Cv
+  std::cout << "(breakpoints match the tick marks of paper Fig. 5: Sp "
+               "30/60/120, An multiples of 45, Sr 5/10, Cv uniform over "
+               "[0,1])\n";
+  return 0;
+}

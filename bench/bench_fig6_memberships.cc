@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 6: the membership functions of FLC2 (Cv, Rq, Cs,
+// A/R), printed as sampled curves and ASCII sparklines.
+#include <cstdio>
+#include <iostream>
+
+#include "cac/facs_flc.h"
+
+namespace {
+
+void dump_variable(const facsp::fuzzy::LinguisticVariable& v, int samples) {
+  std::printf("-- %s over [%g, %g] --\n", v.name().c_str(), v.universe_lo(),
+              v.universe_hi());
+  std::printf("%-6s", "x:");
+  for (int i = 0; i < samples; ++i) {
+    const double x = v.universe_lo() +
+                     (v.universe_hi() - v.universe_lo()) * i / (samples - 1);
+    std::printf("%7.2f", x);
+  }
+  std::printf("\n");
+  for (std::size_t t = 0; t < v.term_count(); ++t) {
+    std::printf("%-6s", v.term(t).name.c_str());
+    for (int i = 0; i < samples; ++i) {
+      const double x =
+          v.universe_lo() +
+          (v.universe_hi() - v.universe_lo()) * i / (samples - 1);
+      std::printf("%7.2f", v.grade(t, x));
+    }
+    std::printf("   ");
+    static const char* kLevels = " .:-=+*#";
+    for (int i = 0; i < 48; ++i) {
+      const double x = v.universe_lo() +
+                       (v.universe_hi() - v.universe_lo()) * i / 47.0;
+      const int level = static_cast<int>(v.grade(t, x) * 7.0 + 0.5);
+      std::printf("%c", kLevels[level]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace facsp::cac;
+  std::cout << "=== Fig. 6 reproduction: FLC2 membership functions ===\n\n";
+  dump_variable(make_correction_input_variable(), 9);  // (a) Cv: Bd/No/Go
+  dump_variable(make_request_type_variable(), 11);     // (b) Rq: Tx/Vo/Vi
+  dump_variable(make_counter_state_variable(), 9);     // (c) Cs: Sa/Md/Fu
+  dump_variable(make_accept_reject_variable(), 9);     // (d) A/R: R..A
+  std::cout << "(breakpoints match the tick marks of paper Fig. 6: Cv "
+               "0.5/1, Rq 5/10, Cs 20/40, A/R multiples of 0.3)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Highway cell: the motivating workload behind Fig. 8.
+//
+// A base station covers a stretch of highway (fast, directionally stable
+// vehicles) and a shopping street (slow pedestrians whose headings
+// wander).  We run both populations through FACS-P at increasing load and
+// show why the controller favours the highway: vehicle trajectories are
+// predictable, so admitted bandwidth stays useful.
+//
+//   $ ./highway_cell [replications]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/paper.h"
+
+using namespace facsp;
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 12;
+
+  std::cout << "Highway cell vs pedestrian street (FACS-P)\n"
+            << "===========================================\n\n";
+
+  struct Population {
+    const char* label;
+    double speed_kmh;
+  };
+  const Population populations[] = {
+      {"pedestrians (4 km/h)", 4.0},
+      {"cyclists (15 km/h)", 15.0},
+      {"city cars (50 km/h)", 50.0},
+      {"highway (100 km/h)", 100.0},
+  };
+
+  core::SweepConfig sweep;
+  sweep.n_values = {20, 40, 60, 80, 100};
+  sweep.replications = reps;
+
+  sim::Figure fig("acceptance by population", "N",
+                  "percentage of accepted calls");
+  std::printf("%-22s %10s %10s %10s\n", "population", "accept@40",
+              "accept@100", "drop%@100");
+  for (const auto& pop : populations) {
+    auto scenario = core::paper_scenario_fixed_speed(pop.speed_kmh);
+    core::Experiment exp(scenario, core::make_facs_p_factory(), pop.label);
+    const auto result = exp.run(sweep);
+    const auto acc = result.acceptance_series();
+    const auto drop = result.dropping_series();
+    std::printf("%-22s %9.1f%% %9.1f%% %9.2f%%\n", pop.label, acc.y_at(40),
+                acc.y_at(100), drop.y_at(100));
+    auto& dst = fig.add_series(pop.label);
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      dst.add(acc.x(i), acc.y(i));
+  }
+
+  std::cout << '\n';
+  fig.print_table(std::cout);
+
+  std::cout <<
+      "\nReading: at every load level the faster population is admitted\n"
+      "more — their direction cannot change easily, the base station's\n"
+      "angle prediction is trustworthy, and bandwidth goes to users who\n"
+      "actually stay in (or pass predictably through) the cell.  This is\n"
+      "the paper's Fig. 8 conclusion on a realistic mixed deployment.\n";
+  return 0;
+}

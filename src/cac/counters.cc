@@ -1,0 +1,68 @@
+#include "cac/counters.h"
+
+#include "common/error.h"
+#include "common/expects.h"
+
+namespace facsp::cac {
+
+DifferentiatedCounters::DifferentiatedCounters(PriorityWeights weights)
+    : weights_(weights) {
+  if (weights_.real_time < 1.0 || weights_.non_real_time < 1.0 ||
+      weights_.handoff_bonus < 1.0)
+    throw ConfigError(
+        "priority weights must be >= 1 (they inflate, never deflate, "
+        "protected load)");
+}
+
+void DifferentiatedCounters::add(cellular::ConnectionId id,
+                                 cellular::ServiceClass service,
+                                 cellular::Bandwidth bw, bool via_handoff) {
+  FACSP_EXPECTS(bw > 0.0);
+  FACSP_EXPECTS_MSG(!entries_.contains(id),
+                    "connection " << id << " already counted");
+  const bool rt = cellular::is_real_time(service);
+  entries_.emplace(id, Entry{bw, rt, via_handoff});
+  if (rt) {
+    rt_bw_ += bw;
+    ++rt_n_;
+  } else {
+    nrt_bw_ += bw;
+    ++nrt_n_;
+  }
+  double w = rt ? weights_.real_time : weights_.non_real_time;
+  if (via_handoff) w *= weights_.handoff_bonus;
+  weighted_ += w * bw;
+}
+
+void DifferentiatedCounters::remove(cellular::ConnectionId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  const Entry e = it->second;
+  entries_.erase(it);
+  if (e.real_time) {
+    rt_bw_ -= e.bw;
+    --rt_n_;
+  } else {
+    nrt_bw_ -= e.bw;
+    --nrt_n_;
+  }
+  double w = e.real_time ? weights_.real_time : weights_.non_real_time;
+  if (e.via_handoff) w *= weights_.handoff_bonus;
+  weighted_ -= w * e.bw;
+  if (rt_bw_ < 1e-9) rt_bw_ = 0.0;
+  if (nrt_bw_ < 1e-9) nrt_bw_ = 0.0;
+  if (weighted_ < 1e-9) weighted_ = 0.0;
+}
+
+cellular::Bandwidth DifferentiatedCounters::effective_occupancy()
+    const noexcept {
+  return weighted_;
+}
+
+void DifferentiatedCounters::clear() {
+  entries_.clear();
+  rt_bw_ = nrt_bw_ = weighted_ = 0.0;
+  rt_n_ = nrt_n_ = 0;
+}
+
+}  // namespace facsp::cac

@@ -1,0 +1,77 @@
+// Differentiated-service counters (paper Fig. 4: RTC / NRTC).
+//
+// FACS-P tracks on-going connections in two counters — the Real Time Counter
+// (voice+video) and the Non Real Time Counter (text) — and derives the
+// Counter state (Cs) fed to FLC2 from them, weighting real-time and
+// handoff-continuing load by priority factors >= 1.  That weighting is the
+// paper's "priority of on-going connections": as protected load accumulates,
+// the effective Cs saturates earlier and the controller turns conservative
+// before the cell is physically full.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cellular/connection.h"
+#include "cellular/service.h"
+
+namespace facsp::cac {
+
+/// Priority weighting configuration.
+struct PriorityWeights {
+  /// Multiplier on bandwidth held by real-time on-going connections.
+  double real_time = 1.6;
+  /// Multiplier on bandwidth held by non-real-time on-going connections.
+  double non_real_time = 1.0;
+  /// Extra multiplier on connections that arrived via handoff (they already
+  /// survived at least one cell transition; dropping them is worst).
+  double handoff_bonus = 1.2;
+};
+
+/// RTC/NRTC ledger for one base station.
+class DifferentiatedCounters {
+ public:
+  explicit DifferentiatedCounters(PriorityWeights weights = {});
+
+  /// Register an admitted connection.
+  void add(cellular::ConnectionId id, cellular::ServiceClass service,
+           cellular::Bandwidth bw, bool via_handoff);
+
+  /// Remove a connection (release/handoff-out/completion).  Unknown ids are
+  /// ignored (the connection may predate a reset()).
+  void remove(cellular::ConnectionId id);
+
+  /// Raw counters.
+  cellular::Bandwidth rt_bandwidth() const noexcept { return rt_bw_; }
+  cellular::Bandwidth nrt_bandwidth() const noexcept { return nrt_bw_; }
+  std::uint32_t rt_count() const noexcept { return rt_n_; }
+  std::uint32_t nrt_count() const noexcept { return nrt_n_; }
+  cellular::Bandwidth total_bandwidth() const noexcept {
+    return rt_bw_ + nrt_bw_;
+  }
+
+  /// Priority-weighted occupancy: the effective "Counter state" FLC2 sees.
+  /// Always >= total_bandwidth() when weights >= 1.
+  cellular::Bandwidth effective_occupancy() const noexcept;
+
+  const PriorityWeights& weights() const noexcept { return weights_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    cellular::Bandwidth bw;
+    bool real_time;
+    bool via_handoff;
+  };
+
+  PriorityWeights weights_;
+  std::unordered_map<cellular::ConnectionId, Entry> entries_;
+  cellular::Bandwidth rt_bw_ = 0.0;
+  cellular::Bandwidth nrt_bw_ = 0.0;
+  cellular::Bandwidth weighted_ = 0.0;
+  std::uint32_t rt_n_ = 0;
+  std::uint32_t nrt_n_ = 0;
+};
+
+}  // namespace facsp::cac

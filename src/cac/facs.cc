@@ -1,0 +1,33 @@
+#include "cac/facs.h"
+
+namespace facsp::cac {
+
+namespace {
+
+fuzzy::Defuzzifier make_defuzz(fuzzy::DefuzzMethod m, int resolution) {
+  return fuzzy::Defuzzifier(m, resolution);
+}
+
+}  // namespace
+
+FacsPolicy::FacsPolicy(const FacsConfig& config)
+    : FuzzyCacBase(
+          make_flc1_distance(config.flc1, config.inference,
+                             make_defuzz(config.defuzz_method,
+                                         config.defuzz_resolution)),
+          make_flc2(config.flc2, config.inference,
+                    make_defuzz(config.defuzz_method,
+                                config.defuzz_resolution)),
+          config.accept_threshold, config.handoff_score_bonus),
+      config_(config) {}
+
+double FacsPolicy::flc1_third_input(const AdmissionRequest& req) const {
+  return req.distance_m;
+}
+
+double FacsPolicy::counter_state(const AdmissionRequest& /*req*/,
+                                 const cellular::BaseStation& bs) const {
+  return bs.load().used;
+}
+
+}  // namespace facsp::cac

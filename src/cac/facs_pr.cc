@@ -1,0 +1,39 @@
+#include "cac/facs_pr.h"
+
+#include "common/error.h"
+
+namespace facsp::cac {
+
+FacsPrPolicy::FacsPrPolicy(const FacsPrConfig& config)
+    : config_(config), inner_(config.base) {
+  if (config_.low_extra < config_.normal_extra ||
+      config_.normal_extra < config_.high_extra)
+    throw ConfigError(
+        "facs-pr: threshold extras must order low >= normal >= high "
+        "(higher priority must not face a stricter threshold)");
+}
+
+double FacsPrPolicy::threshold_for(cellular::UserPriority p) const noexcept {
+  double extra = config_.normal_extra;
+  switch (p) {
+    case cellular::UserPriority::kLow: extra = config_.low_extra; break;
+    case cellular::UserPriority::kNormal: extra = config_.normal_extra; break;
+    case cellular::UserPriority::kHigh: extra = config_.high_extra; break;
+  }
+  return config_.base.accept_threshold + extra;
+}
+
+AdmissionDecision FacsPrPolicy::decide(const AdmissionRequest& req,
+                                       const cellular::BaseStation& bs) {
+  // Run the full FACS-P cascade for the crisp score, then re-resolve the
+  // admission against the priority-dependent threshold.  Handoffs keep
+  // FACS-P's decision untouched: on-going-connection priority already
+  // governs them, and requesting-priority is a *new-call* concept.
+  AdmissionDecision d = inner_.decide(req, bs);
+  if (req.kind == cellular::RequestKind::kHandoff) return d;
+  d.admitted = d.score > threshold_for(req.priority) &&
+               bs.can_fit(req.bandwidth);
+  return d;
+}
+
+}  // namespace facsp::cac

@@ -1,0 +1,43 @@
+#include "cac/fuzzy_cac_base.h"
+
+#include "common/expects.h"
+
+namespace facsp::cac {
+
+FuzzyCacBase::FuzzyCacBase(std::unique_ptr<fuzzy::FuzzyController> flc1,
+                           std::unique_ptr<fuzzy::FuzzyController> flc2,
+                           double accept_threshold, double handoff_score_bonus)
+    : flc1_(std::move(flc1)),
+      flc2_(std::move(flc2)),
+      accept_threshold_(accept_threshold),
+      handoff_score_bonus_(handoff_score_bonus) {
+  FACSP_EXPECTS(flc1_ != nullptr && flc2_ != nullptr);
+  FACSP_EXPECTS(flc1_->input_count() == 3);
+  FACSP_EXPECTS(flc2_->input_count() == 3);
+}
+
+double FuzzyCacBase::correction_value(const AdmissionRequest& req) const {
+  return flc1_->evaluate(
+      {req.speed_kmh, req.angle_deg, flc1_third_input(req)});
+}
+
+AdmissionDecision FuzzyCacBase::decide(const AdmissionRequest& req,
+                                       const cellular::BaseStation& bs) {
+  const double cv = correction_value(req);
+  const double cs = counter_state(req, bs);
+  double score = flc2_->evaluate(
+      {cv, static_cast<double>(req.bandwidth), cs});
+
+  // Priority of on-going connections: a handoff *is* an on-going call, so
+  // its continuation is favoured over fresh admissions.
+  if (req.kind == cellular::RequestKind::kHandoff)
+    score += handoff_score_bonus_;
+
+  AdmissionDecision d;
+  d.score = score;
+  d.verdict = verdict_from_score(score);
+  d.admitted = score > accept_threshold_ && bs.can_fit(req.bandwidth);
+  return d;
+}
+
+}  // namespace facsp::cac

@@ -1,0 +1,71 @@
+#include "cac/guard_channel.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace facsp::cac {
+
+namespace {
+
+AdmissionDecision margin_decision(bool admitted, double margin_fraction) {
+  AdmissionDecision d;
+  d.admitted = admitted;
+  d.score = clamp(margin_fraction * 2.0, -1.0, 1.0);
+  d.verdict = verdict_from_score(d.score);
+  if (!admitted) d.verdict = Verdict::kReject;
+  return d;
+}
+
+}  // namespace
+
+AdmissionDecision CompleteSharingPolicy::decide(
+    const AdmissionRequest& req, const cellular::BaseStation& bs) {
+  const bool fits = bs.can_fit(req.bandwidth);
+  const double margin = (bs.free() - req.bandwidth) / bs.capacity();
+  return margin_decision(fits, margin);
+}
+
+GuardChannelPolicy::GuardChannelPolicy(cellular::Bandwidth guard_bu)
+    : guard_(guard_bu) {
+  if (guard_bu < 0.0)
+    throw ConfigError("guard channel: guard bandwidth must be >= 0");
+}
+
+AdmissionDecision GuardChannelPolicy::decide(const AdmissionRequest& req,
+                                             const cellular::BaseStation& bs) {
+  const bool fits = bs.can_fit(req.bandwidth);
+  if (req.kind == cellular::RequestKind::kHandoff) {
+    const double margin = (bs.free() - req.bandwidth) / bs.capacity();
+    return margin_decision(fits, margin);
+  }
+  const double effective_free = bs.free() - guard_;
+  const bool admitted = fits && req.bandwidth <= effective_free + 1e-9;
+  return margin_decision(admitted,
+                         (effective_free - req.bandwidth) / bs.capacity());
+}
+
+FractionalGuardChannelPolicy::FractionalGuardChannelPolicy(
+    cellular::Bandwidth guard_bu, sim::RandomStream rng)
+    : guard_(guard_bu), rng_(rng) {
+  if (guard_bu < 0.0)
+    throw ConfigError("fractional guard channel: guard bandwidth must be >= 0");
+}
+
+AdmissionDecision FractionalGuardChannelPolicy::decide(
+    const AdmissionRequest& req, const cellular::BaseStation& bs) {
+  const bool fits = bs.can_fit(req.bandwidth);
+  const double margin = (bs.free() - req.bandwidth) / bs.capacity();
+  if (req.kind == cellular::RequestKind::kHandoff || guard_ <= 0.0)
+    return margin_decision(fits, margin);
+
+  // Free bandwidth after this call, relative to the guard region: >= guard
+  // -> always admit; <= 0 -> never; in between -> linear acceptance prob.
+  const double after = bs.free() - req.bandwidth;
+  double p = clamp(after / guard_, 0.0, 1.0);
+  const bool admitted = fits && rng_.bernoulli(p);
+  return margin_decision(admitted, margin * p);
+}
+
+}  // namespace facsp::cac

@@ -1,0 +1,61 @@
+// Classical trunk-reservation baselines (extension beyond the paper's own
+// comparisons; used by bench_baselines).
+//
+//  * CompleteSharingPolicy — admit anything that physically fits.
+//  * GuardChannelPolicy    — reserve `guard_bu` BU for handoffs: new calls
+//    are admitted only while used + bw <= capacity - guard_bu; handoffs are
+//    admitted while they physically fit.
+//  * FractionalGuardChannelPolicy — new calls are admitted into the guard
+//    region with a probability that decays linearly across it (Ramjee et
+//    al.'s fractional guard channel).
+#pragma once
+
+#include "cac/policy.h"
+#include "sim/rng.h"
+
+namespace facsp::cac {
+
+/// Admit iff the call physically fits (no CAC at all).
+class CompleteSharingPolicy final : public AdmissionPolicy {
+ public:
+  std::string_view name() const noexcept override { return "CS"; }
+
+  AdmissionDecision decide(const AdmissionRequest& req,
+                           const cellular::BaseStation& bs) override;
+};
+
+/// Deterministic guard channel (trunk reservation) for handoff priority.
+class GuardChannelPolicy final : public AdmissionPolicy {
+ public:
+  /// guard_bu in [0, capacity); throws facsp::ConfigError when negative.
+  explicit GuardChannelPolicy(cellular::Bandwidth guard_bu);
+
+  std::string_view name() const noexcept override { return "GC"; }
+
+  AdmissionDecision decide(const AdmissionRequest& req,
+                           const cellular::BaseStation& bs) override;
+
+  cellular::Bandwidth guard_bu() const noexcept { return guard_; }
+
+ private:
+  cellular::Bandwidth guard_;
+};
+
+/// Fractional guard channel: new calls are accepted with probability 1
+/// below the guard region and with linearly decaying probability inside it.
+class FractionalGuardChannelPolicy final : public AdmissionPolicy {
+ public:
+  FractionalGuardChannelPolicy(cellular::Bandwidth guard_bu,
+                               sim::RandomStream rng);
+
+  std::string_view name() const noexcept override { return "FGC"; }
+
+  AdmissionDecision decide(const AdmissionRequest& req,
+                           const cellular::BaseStation& bs) override;
+
+ private:
+  cellular::Bandwidth guard_;
+  sim::RandomStream rng_;
+};
+
+}  // namespace facsp::cac

@@ -1,0 +1,24 @@
+#include "cac/policy.h"
+
+namespace facsp::cac {
+
+Verdict verdict_from_score(double score) noexcept {
+  if (score > 0.45) return Verdict::kAccept;
+  if (score > 0.15) return Verdict::kWeakAccept;
+  if (score >= -0.15) return Verdict::kNeutral;
+  if (score >= -0.45) return Verdict::kWeakReject;
+  return Verdict::kReject;
+}
+
+std::string_view to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kReject: return "R";
+    case Verdict::kWeakReject: return "WR";
+    case Verdict::kNeutral: return "NRNA";
+    case Verdict::kWeakAccept: return "WA";
+    case Verdict::kAccept: return "A";
+  }
+  return "R";
+}
+
+}  // namespace facsp::cac

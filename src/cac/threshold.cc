@@ -1,0 +1,73 @@
+#include "cac/threshold.h"
+
+#include "common/error.h"
+#include "common/math_util.h"
+
+namespace facsp::cac {
+
+cellular::Bandwidth Partition::quota(cellular::ServiceClass s) const noexcept {
+  switch (s) {
+    case cellular::ServiceClass::kText: return text_bu;
+    case cellular::ServiceClass::kVoice: return voice_bu;
+    case cellular::ServiceClass::kVideo: return video_bu;
+  }
+  return 0.0;  // unreachable
+}
+
+CompletePartitioningPolicy::CompletePartitioningPolicy(Partition partition)
+    : partition_(partition) {
+  if (partition_.text_bu < 0.0 || partition_.voice_bu < 0.0 ||
+      partition_.video_bu < 0.0)
+    throw ConfigError("complete partitioning: quotas must be >= 0");
+  if (partition_.total() <= 0.0)
+    throw ConfigError("complete partitioning: at least one quota must be > 0");
+}
+
+AdmissionDecision CompletePartitioningPolicy::decide(
+    const AdmissionRequest& req, const cellular::BaseStation& bs) {
+  const auto idx = static_cast<std::size_t>(req.service);
+  const auto& per = state_[bs.id()];
+  const double quota = partition_.quota(req.service);
+  const double after = per.used[idx] + req.bandwidth;
+
+  AdmissionDecision d;
+  const bool quota_ok = after <= quota + 1e-9;
+  const bool fits = bs.can_fit(req.bandwidth);
+  d.admitted = quota_ok && fits;
+  d.score = clamp(2.0 * (quota - after) / (quota > 0.0 ? quota : 1.0), -1.0,
+                  1.0);
+  d.verdict = verdict_from_score(d.score);
+  if (!d.admitted) d.verdict = Verdict::kReject;
+  return d;
+}
+
+void CompletePartitioningPolicy::on_admitted(const AdmissionRequest& req,
+                                             const cellular::BaseStation& bs) {
+  auto& per = state_[bs.id()];
+  per.used[static_cast<std::size_t>(req.service)] += req.bandwidth;
+  per.owner[req.id] = {req.service, req.bandwidth};
+}
+
+void CompletePartitioningPolicy::on_released(cellular::ConnectionId id,
+                                             cellular::ServiceClass /*service*/,
+                                             const cellular::BaseStation& bs) {
+  auto& per = state_[bs.id()];
+  const auto it = per.owner.find(id);
+  if (it == per.owner.end()) return;
+  const auto [service, bw] = it->second;
+  auto& used = per.used[static_cast<std::size_t>(service)];
+  used -= bw;
+  if (used < 1e-9) used = 0.0;
+  per.owner.erase(it);
+}
+
+void CompletePartitioningPolicy::reset() { state_.clear(); }
+
+cellular::Bandwidth CompletePartitioningPolicy::used(
+    cellular::BaseStationId bs, cellular::ServiceClass s) const {
+  const auto it = state_.find(bs);
+  if (it == state_.end()) return 0.0;
+  return it->second.used[static_cast<std::size_t>(s)];
+}
+
+}  // namespace facsp::cac

@@ -1,0 +1,64 @@
+// Complete partitioning: each service class owns a fixed slice of the
+// cell's bandwidth (extension baseline).  The classical dual of complete
+// sharing — no class can starve another, at the cost of stranded capacity
+// when the mix drifts from the partition.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "cac/policy.h"
+
+namespace facsp::cac {
+
+/// Per-class bandwidth quotas.  Must sum to <= the cell capacity the
+/// policy is used with (checked at decide time against the actual BS).
+struct Partition {
+  cellular::Bandwidth text_bu = 10.0;
+  cellular::Bandwidth voice_bu = 15.0;
+  cellular::Bandwidth video_bu = 15.0;
+
+  cellular::Bandwidth quota(cellular::ServiceClass s) const noexcept;
+  cellular::Bandwidth total() const noexcept {
+    return text_bu + voice_bu + video_bu;
+  }
+};
+
+/// Admission under complete partitioning.  Tracks per-class usage per base
+/// station through the policy notifications (the BaseStation itself only
+/// meters RT/NRT aggregates).
+class CompletePartitioningPolicy final : public AdmissionPolicy {
+ public:
+  /// Throws facsp::ConfigError on negative quotas or an all-zero partition.
+  explicit CompletePartitioningPolicy(Partition partition = {});
+
+  std::string_view name() const noexcept override { return "CP"; }
+
+  AdmissionDecision decide(const AdmissionRequest& req,
+                           const cellular::BaseStation& bs) override;
+
+  void on_admitted(const AdmissionRequest& req,
+                   const cellular::BaseStation& bs) override;
+  void on_released(cellular::ConnectionId id, cellular::ServiceClass service,
+                   const cellular::BaseStation& bs) override;
+  void reset() override;
+
+  /// Current class usage on a base station (0 if never seen).
+  cellular::Bandwidth used(cellular::BaseStationId bs,
+                           cellular::ServiceClass s) const;
+
+  const Partition& partition() const noexcept { return partition_; }
+
+ private:
+  struct PerBs {
+    std::array<cellular::Bandwidth, 3> used{};
+    std::unordered_map<cellular::ConnectionId,
+                       std::pair<cellular::ServiceClass, cellular::Bandwidth>>
+        owner;
+  };
+
+  Partition partition_;
+  std::unordered_map<cellular::BaseStationId, PerBs> state_;
+};
+
+}  // namespace facsp::cac

@@ -1,0 +1,26 @@
+#include "cellular/connection.h"
+
+#include <ostream>
+
+namespace facsp::cellular {
+
+std::ostream& operator<<(std::ostream& os, RequestKind k) {
+  switch (k) {
+    case RequestKind::kNew: return os << "new";
+    case RequestKind::kHandoff: return os << "handoff";
+  }
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, ConnectionState s) {
+  switch (s) {
+    case ConnectionState::kPending: return os << "pending";
+    case ConnectionState::kActive: return os << "active";
+    case ConnectionState::kBlocked: return os << "blocked";
+    case ConnectionState::kDropped: return os << "dropped";
+    case ConnectionState::kCompleted: return os << "completed";
+  }
+  return os;
+}
+
+}  // namespace facsp::cellular

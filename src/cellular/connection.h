@@ -1,0 +1,57 @@
+// Connection (call) lifecycle records.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "cellular/service.h"
+#include "sim/event_queue.h"  // SimTime
+
+namespace facsp::cellular {
+
+using ConnectionId = std::uint64_t;
+
+/// Why a connection is requesting resources from a base station.
+enum class RequestKind {
+  kNew,      ///< fresh call originating in this cell
+  kHandoff,  ///< on-going call arriving from a neighbouring cell
+};
+
+/// Lifecycle of one connection.
+enum class ConnectionState {
+  kPending,    ///< created, admission not yet decided
+  kActive,     ///< admitted and holding bandwidth
+  kBlocked,    ///< rejected at admission (new call)
+  kDropped,    ///< lost mid-call (handoff rejection)
+  kCompleted,  ///< finished normally
+};
+
+std::ostream& operator<<(std::ostream& os, RequestKind k);
+std::ostream& operator<<(std::ostream& os, ConnectionState s);
+
+/// One call and its QoS-relevant history.  Owned by the session driver;
+/// base stations reference connections by id only.
+struct Connection {
+  ConnectionId id = 0;
+  ServiceClass service = ServiceClass::kText;
+  Bandwidth bandwidth = 1.0;           ///< BU held while active
+  UserPriority priority = UserPriority::kNormal;
+  RequestKind origin = RequestKind::kNew;
+  ConnectionState state = ConnectionState::kPending;
+
+  sim::SimTime request_time = 0.0;     ///< when admission was requested
+  sim::SimTime start_time = 0.0;       ///< when admitted (if ever)
+  sim::SimTime end_time = 0.0;         ///< completion/drop time (if ever)
+  sim::SimTime holding_time = 0.0;     ///< sampled total call duration
+
+  int handoff_count = 0;               ///< successful handoffs so far
+
+  bool real_time() const noexcept { return is_real_time(service); }
+
+  /// Elapsed active time at `now` (0 unless active).
+  sim::SimTime elapsed(sim::SimTime now) const noexcept {
+    return state == ConnectionState::kActive ? now - start_time : 0.0;
+  }
+};
+
+}  // namespace facsp::cellular

@@ -1,0 +1,70 @@
+// Analytic multi-rate loss models: Erlang-B and the Kaufman-Roberts
+// recursion.
+//
+// These give the *exact* stationary blocking probabilities of a
+// complete-sharing link offered independent Poisson traffic classes —
+// the textbook ground truth the simulator must approach when mobility is
+// off and the arrival process is (quasi-)stationary.  Used by the
+// validation test suite and bench_validation to cross-check the whole
+// simulation pipeline against teletraffic theory.
+#pragma once
+
+#include <vector>
+
+#include "cellular/service.h"
+
+namespace facsp::cellular {
+
+/// Erlang-B blocking probability: one class, `servers` identical servers,
+/// offered load `erlangs` (= arrival rate x mean holding time).
+/// Uses the numerically stable iterative form.
+double erlang_b(double erlangs, int servers);
+
+/// One traffic class of a multi-rate loss system.
+struct TrafficClass {
+  double offered_erlangs = 0.0;  ///< lambda * mean holding time
+  int bandwidth_units = 1;       ///< integer BU per call (paper: 1/5/10)
+};
+
+/// Kaufman-Roberts solver for a complete-sharing link of `capacity_bu`
+/// integer bandwidth units shared by independent Poisson classes.
+class KaufmanRoberts {
+ public:
+  /// Throws facsp::ConfigError on non-positive capacity, non-positive
+  /// class sizes, or negative loads.
+  KaufmanRoberts(int capacity_bu, std::vector<TrafficClass> classes);
+
+  /// Blocking probability of class k (probability an arriving class-k
+  /// call finds fewer than b_k free units).
+  double blocking(std::size_t k) const;
+
+  /// Offered-call-weighted mean blocking across classes.
+  double mean_blocking() const;
+
+  /// Mean acceptance percentage (100 * (1 - mean_blocking())).
+  double acceptance_percent() const;
+
+  /// Stationary probability that exactly j units are busy.
+  double occupancy_probability(int j) const;
+
+  /// Expected number of busy units.
+  double mean_occupancy() const;
+
+  int capacity() const noexcept { return capacity_; }
+  const std::vector<TrafficClass>& classes() const noexcept {
+    return classes_;
+  }
+
+  /// Convenience: build the paper's scenario classes from a traffic mix,
+  /// a per-cell arrival rate (calls/s) and a mean holding time.
+  static KaufmanRoberts for_paper_mix(int capacity_bu, const TrafficMix& mix,
+                                      double arrival_rate_per_s,
+                                      double mean_holding_s);
+
+ private:
+  int capacity_;
+  std::vector<TrafficClass> classes_;
+  std::vector<double> q_;  ///< normalised occupancy distribution
+};
+
+}  // namespace facsp::cellular

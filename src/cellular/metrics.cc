@@ -1,0 +1,82 @@
+#include "cellular/metrics.h"
+
+#include <ostream>
+
+namespace facsp::cellular {
+
+void MetricsCollector::record_new_call(ServiceClass s, bool accepted) {
+  record_new_call(s, UserPriority::kNormal, accepted);
+}
+
+void MetricsCollector::record_new_call(ServiceClass s, UserPriority p,
+                                       bool accepted) {
+  if (accepted) {
+    new_calls_.hit();
+    new_by_service_[idx(s)].hit();
+    new_by_priority_[static_cast<std::size_t>(p)].hit();
+  } else {
+    new_calls_.miss();
+    new_by_service_[idx(s)].miss();
+    new_by_priority_[static_cast<std::size_t>(p)].miss();
+  }
+}
+
+void MetricsCollector::record_handoff(ServiceClass s, bool accepted) {
+  if (accepted) {
+    handoffs_.hit();
+    handoff_by_service_[idx(s)].hit();
+  } else {
+    handoffs_.miss();
+    handoff_by_service_[idx(s)].miss();
+  }
+}
+
+void MetricsCollector::record_completion(ServiceClass s) {
+  ++completed_[idx(s)];
+  ++completed_total_;
+}
+
+void MetricsCollector::record_drop(ServiceClass s) {
+  ++dropped_[idx(s)];
+  ++dropped_total_;
+}
+
+double MetricsCollector::acceptance_percent(double if_empty) const noexcept {
+  return new_calls_.percent(if_empty);
+}
+
+double MetricsCollector::blocking_probability() const noexcept {
+  return 1.0 - new_calls_.ratio(1.0);
+}
+
+double MetricsCollector::dropping_probability() const noexcept {
+  return 1.0 - handoffs_.ratio(1.0);
+}
+
+double MetricsCollector::completion_ratio() const noexcept {
+  const std::uint64_t finished = completed_total_ + dropped_total_;
+  return finished == 0 ? 1.0
+                       : static_cast<double>(completed_total_) /
+                             static_cast<double>(finished);
+}
+
+double MetricsCollector::acceptance_percent(ServiceClass s) const noexcept {
+  return new_by_service_[idx(s)].percent(100.0);
+}
+
+double MetricsCollector::acceptance_percent(UserPriority p) const noexcept {
+  return new_by_priority_[static_cast<std::size_t>(p)].percent(100.0);
+}
+
+void MetricsCollector::print(std::ostream& os) const {
+  os << "offered=" << offered_new() << " accepted=" << accepted_new()
+     << " (" << acceptance_percent() << "%)"
+     << " blocked=" << blocked() << " handoffs=" << handoff_attempts()
+     << " dropped=" << dropped() << " completed=" << completed() << '\n';
+  for (ServiceClass s : kAllServices) {
+    os << "  " << service_name(s) << ": accept%="
+       << acceptance_percent(s) << '\n';
+  }
+}
+
+}  // namespace facsp::cellular

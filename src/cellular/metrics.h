@@ -1,0 +1,81 @@
+// Call-level QoS metrics: acceptance / blocking / dropping, per service
+// class and overall.  One collector per simulation run.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+
+#include "cellular/connection.h"
+#include "cellular/service.h"
+#include "sim/stats.h"
+
+namespace facsp::cellular {
+
+/// Aggregated counters of one simulation run.
+class MetricsCollector {
+ public:
+  /// Record a new-call admission decision.
+  void record_new_call(ServiceClass s, bool accepted);
+  void record_new_call(ServiceClass s, UserPriority p, bool accepted);
+
+  /// Record a handoff attempt for an on-going call.
+  void record_handoff(ServiceClass s, bool accepted);
+
+  /// Record the final fate of a connection that was active at some point.
+  void record_completion(ServiceClass s);
+  void record_drop(ServiceClass s);
+
+  // --- paper headline metric ---------------------------------------------
+  /// Percentage of requesting (new) connections accepted; the y-axis of
+  /// Figs. 7-10.  `if_empty` is returned when nothing was offered.
+  double acceptance_percent(double if_empty = 100.0) const noexcept;
+
+  // --- classic CAC metrics (extended reporting) --------------------------
+  /// New-call blocking probability (CBP).
+  double blocking_probability() const noexcept;
+  /// Handoff dropping probability (CDP): dropped / handoff attempts.
+  double dropping_probability() const noexcept;
+  /// Fraction of once-active calls that completed without being dropped —
+  /// the "QoS of on-going connections" the paper's priority mechanism
+  /// protects.
+  double completion_ratio() const noexcept;
+
+  // --- raw counters -------------------------------------------------------
+  std::uint64_t offered_new() const noexcept { return new_calls_.denominator; }
+  std::uint64_t accepted_new() const noexcept { return new_calls_.numerator; }
+  std::uint64_t blocked() const noexcept {
+    return new_calls_.denominator - new_calls_.numerator;
+  }
+  std::uint64_t handoff_attempts() const noexcept {
+    return handoffs_.denominator;
+  }
+  std::uint64_t handoff_successes() const noexcept {
+    return handoffs_.numerator;
+  }
+  std::uint64_t dropped() const noexcept { return dropped_total_; }
+  std::uint64_t completed() const noexcept { return completed_total_; }
+
+  /// Per-service acceptance ratio of new calls.
+  double acceptance_percent(ServiceClass s) const noexcept;
+  /// Per-priority acceptance ratio of new calls (future-work extension).
+  double acceptance_percent(UserPriority p) const noexcept;
+
+  void print(std::ostream& os) const;
+
+ private:
+  static std::size_t idx(ServiceClass s) noexcept {
+    return static_cast<std::size_t>(s);
+  }
+
+  sim::RatioCounter new_calls_;
+  sim::RatioCounter handoffs_;
+  std::array<sim::RatioCounter, 3> new_by_service_{};
+  std::array<sim::RatioCounter, 3> new_by_priority_{};
+  std::array<sim::RatioCounter, 3> handoff_by_service_{};
+  std::array<std::uint64_t, 3> completed_{};
+  std::array<std::uint64_t, 3> dropped_{};
+  std::uint64_t completed_total_ = 0;
+  std::uint64_t dropped_total_ = 0;
+};
+
+}  // namespace facsp::cellular

@@ -1,0 +1,62 @@
+// Cellular network topology: a disc of hexagonal cells, each with one base
+// station, plus point->cell lookup and neighbourhood queries.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cellular/basestation.h"
+#include "cellular/hexgrid.h"
+
+namespace facsp::cellular {
+
+/// Immutable topology of base stations on a hex grid.
+///
+/// The canonical evaluation network is a filled disc of `rings` rings around
+/// a centre cell (rings=0: single cell; rings=2: 19 cells).  All cells share
+/// the same capacity (paper: 40 BU).
+class CellularNetwork {
+ public:
+  /// Builds a disc network.  cell_radius_m is the hex circumradius (metres).
+  /// Throws facsp::ConfigError on non-positive capacity/radius or rings < 0.
+  CellularNetwork(int rings, double cell_radius_m, Bandwidth capacity_bu);
+
+  const HexLayout& layout() const noexcept { return layout_; }
+  int rings() const noexcept { return rings_; }
+  std::size_t cell_count() const noexcept { return stations_.size(); }
+
+  /// The central cell's base station.
+  BaseStation& center() { return *stations_map_.at(HexCoord{0, 0}); }
+  const BaseStation& center() const { return *stations_map_.at(HexCoord{0, 0}); }
+
+  /// Station by hex coordinate; nullptr when outside the disc.
+  BaseStation* station_at(const HexCoord& coord) noexcept;
+  const BaseStation* station_at(const HexCoord& coord) const noexcept;
+
+  /// Station whose cell contains the world point; nullptr outside the disc.
+  BaseStation* station_covering(const Point& p) noexcept;
+  const BaseStation* station_covering(const Point& p) const noexcept;
+
+  /// All stations (stable order: disc enumeration).
+  std::vector<BaseStation*> stations();
+  std::vector<const BaseStation*> stations() const;
+
+  /// In-disc neighbours of a cell (up to 6).
+  std::vector<BaseStation*> neighbors_of(const HexCoord& coord);
+
+  /// True when the point lies in some cell of the disc.
+  bool covers(const Point& p) const noexcept;
+
+  /// Start utilization metrics on every station.
+  void start_metrics(sim::SimTime t0);
+
+ private:
+  HexLayout layout_;
+  int rings_;
+  std::vector<std::unique_ptr<BaseStation>> stations_;
+  std::unordered_map<HexCoord, BaseStation*, HexCoordHash> stations_map_;
+};
+
+}  // namespace facsp::cellular

@@ -1,0 +1,62 @@
+// Service classes and traffic mix (paper Sec. 4).
+//
+// The evaluation uses three services — text, voice, video — requesting
+// 1 / 5 / 10 bandwidth units (BU) with arrival shares 70% / 20% / 10%.
+// Voice and video are real-time (RT); text is non-real-time (NRT), the
+// distinction driving the paper's RTC/NRTC differentiated-service counters.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string_view>
+
+namespace facsp::cellular {
+
+/// Bandwidth in "bandwidth units" (BU), the paper's capacity currency.
+using Bandwidth = double;
+
+enum class ServiceClass { kText = 0, kVoice = 1, kVideo = 2 };
+
+inline constexpr std::array<ServiceClass, 3> kAllServices = {
+    ServiceClass::kText, ServiceClass::kVoice, ServiceClass::kVideo};
+
+/// Requested bandwidth per service (paper: 1, 5, 10 BU).
+Bandwidth service_bandwidth(ServiceClass s) noexcept;
+
+/// Real-time services (voice, video) get on-going priority in FACS-P.
+bool is_real_time(ServiceClass s) noexcept;
+
+std::string_view service_name(ServiceClass s) noexcept;
+
+std::ostream& operator<<(std::ostream& os, ServiceClass s);
+
+/// Priority of a *requesting* connection — the paper's stated future work
+/// ("in the future, we would like to consider also the priority of
+/// requesting connections").  Orthogonal to the RT/NRT service split.
+enum class UserPriority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+inline constexpr std::array<UserPriority, 3> kAllPriorities = {
+    UserPriority::kLow, UserPriority::kNormal, UserPriority::kHigh};
+
+std::string_view priority_name(UserPriority p) noexcept;
+std::ostream& operator<<(std::ostream& os, UserPriority p);
+
+/// Arrival mix over the three services; probabilities must be non-negative
+/// and sum to ~1.  Paper default: 70% text, 20% voice, 10% video.
+struct TrafficMix {
+  double text = 0.70;
+  double voice = 0.20;
+  double video = 0.10;
+
+  /// Throws facsp::ConfigError if probabilities are negative or do not sum
+  /// to 1 within 1e-6.
+  void validate() const;
+
+  double probability(ServiceClass s) const noexcept;
+
+  /// Expected bandwidth of one request under this mix (paper default:
+  /// 0.7*1 + 0.2*5 + 0.1*10 = 2.7 BU).
+  Bandwidth mean_bandwidth() const noexcept;
+};
+
+}  // namespace facsp::cellular

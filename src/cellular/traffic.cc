@@ -1,0 +1,94 @@
+#include "cellular/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/expects.h"
+#include "common/math_util.h"
+
+namespace facsp::cellular {
+
+void TrafficConfig::validate() const {
+  mix.validate();
+  if (arrival_window_s < 0.0)
+    throw ConfigError("traffic: arrival window must be >= 0");
+  if (mean_holding_s <= 0.0)
+    throw ConfigError("traffic: mean holding time must be > 0");
+  if (min_speed_kmh < 0.0 || max_speed_kmh < min_speed_kmh)
+    throw ConfigError("traffic: speed range invalid");
+  if (fixed_speed_kmh && *fixed_speed_kmh < 0.0)
+    throw ConfigError("traffic: fixed speed must be >= 0");
+  if (fixed_angle_deg &&
+      (*fixed_angle_deg < -180.0 || *fixed_angle_deg > 180.0))
+    throw ConfigError("traffic: fixed angle must be in [-180, 180]");
+  if (priority_low < 0.0 || priority_normal < 0.0 || priority_high < 0.0 ||
+      std::fabs(priority_low + priority_normal + priority_high - 1.0) > 1e-6)
+    throw ConfigError(
+        "traffic: priority shares must be non-negative and sum to 1");
+}
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config,
+                                   const HexLayout& layout,
+                                   HexCoord spawn_cell, Point bs_position,
+                                   sim::RandomStream rng,
+                                   ConnectionId first_id)
+    : config_(config),
+      layout_(layout),
+      spawn_cell_(spawn_cell),
+      bs_position_(bs_position),
+      rng_(rng),
+      next_id_(first_id) {
+  config_.validate();
+}
+
+CallRequest TrafficGenerator::make_request(sim::SimTime arrival) {
+  CallRequest req;
+  req.id = next_id_++;
+  req.arrival_time = arrival;
+
+  const std::size_t svc = rng_.discrete(
+      {config_.mix.text, config_.mix.voice, config_.mix.video});
+  req.service = kAllServices[svc];
+  req.bandwidth = service_bandwidth(req.service);
+  req.priority = kAllPriorities[rng_.discrete(
+      {config_.priority_low, config_.priority_normal,
+       config_.priority_high})];
+  req.holding_time = rng_.exponential(config_.mean_holding_s);
+
+  req.mobile.position = layout_.random_point_in_cell(
+      spawn_cell_, [this] { return rng_.uniform(0.0, 1.0); });
+  req.mobile.speed_kmh =
+      config_.fixed_speed_kmh
+          ? *config_.fixed_speed_kmh
+          : rng_.uniform(config_.min_speed_kmh, config_.max_speed_kmh);
+
+  if (config_.fixed_angle_deg) {
+    // Heading such that the angle to the BS has the requested magnitude;
+    // the sign (left/right of the BS bearing) is random, matching the
+    // paper's symmetric L/R rule tables.
+    const double bearing = heading_deg(req.mobile.position, bs_position_);
+    const double sign = rng_.bernoulli(0.5) ? 1.0 : -1.0;
+    req.mobile.heading_deg =
+        wrap_angle_deg(bearing + sign * *config_.fixed_angle_deg);
+  } else {
+    req.mobile.heading_deg = rng_.uniform(-180.0, 180.0);
+  }
+  return req;
+}
+
+std::vector<CallRequest> TrafficGenerator::generate(int n, sim::SimTime t0) {
+  FACSP_EXPECTS(n >= 0);
+  std::vector<sim::SimTime> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    arrivals.push_back(t0 + rng_.uniform(0.0, config_.arrival_window_s));
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::vector<CallRequest> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(make_request(arrivals[i]));
+  return out;
+}
+
+}  // namespace facsp::cellular

@@ -1,0 +1,12 @@
+#include "common/error.h"
+
+// Out-of-line anchor so the vtables for the exception hierarchy are emitted
+// exactly once (avoids weak-vtable duplication across every TU).
+namespace facsp {
+namespace {
+[[maybe_unused]] void anchor() {
+  Error e{"anchor"};
+  (void)e;
+}
+}  // namespace
+}  // namespace facsp

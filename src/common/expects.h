@@ -1,0 +1,50 @@
+// Precondition / postcondition checking in the spirit of the C++ Core
+// Guidelines (I.5/I.6, I.7/I.8).  Violations throw facsp::ContractViolation so
+// tests can assert on them and callers get a diagnosable error instead of UB.
+#pragma once
+
+#include "common/error.h"
+
+#include <sstream>
+#include <string>
+
+namespace facsp::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace facsp::detail
+
+// FACSP_EXPECTS(cond): precondition; throws facsp::ContractViolation on failure.
+#define FACSP_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::facsp::detail::contract_failure("Precondition", #cond, __FILE__,     \
+                                        __LINE__, std::string{});            \
+  } while (false)
+
+// FACSP_EXPECTS_MSG(cond, msg): precondition with a human-readable context
+// message (msg may be any streamable expression chain built by the caller).
+#define FACSP_EXPECTS_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream facsp_expects_os_;                                  \
+      facsp_expects_os_ << msg;                                              \
+      ::facsp::detail::contract_failure("Precondition", #cond, __FILE__,     \
+                                        __LINE__, facsp_expects_os_.str());  \
+    }                                                                        \
+  } while (false)
+
+// FACSP_ENSURES(cond): postcondition / invariant check.
+#define FACSP_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::facsp::detail::contract_failure("Postcondition", #cond, __FILE__,    \
+                                        __LINE__, std::string{});            \
+  } while (false)

@@ -1,0 +1,28 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace facsp {
+
+bool approx_equal(double a, double b, double rel_tol, double abs_tol) noexcept {
+  if (a == b) return true;  // covers infinities of the same sign
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= std::max(abs_tol, rel_tol * scale);
+}
+
+double wrap_angle_deg(double deg) noexcept {
+  double x = std::fmod(deg, 360.0);
+  if (x <= -180.0) x += 360.0;
+  if (x > 180.0) x -= 360.0;
+  return x;
+}
+
+double angle_distance_deg(double a, double b) noexcept {
+  const double d = std::fabs(wrap_angle_deg(a - b));
+  return d > 180.0 ? 360.0 - d : d;
+}
+
+}  // namespace facsp

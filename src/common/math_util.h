@@ -1,0 +1,44 @@
+// Small numeric helpers shared across the library.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace facsp {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Relative+absolute tolerant floating-point comparison.
+/// Returns true when |a-b| <= max(abs_tol, rel_tol*max(|a|,|b|)).
+bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                  double abs_tol = 1e-12) noexcept;
+
+/// Linear interpolation: a + t*(b-a).  t outside [0,1] extrapolates.
+constexpr double lerp(double a, double b, double t) noexcept {
+  return a + t * (b - a);
+}
+
+/// Clamp x into [lo, hi].  Requires lo <= hi.
+constexpr double clamp(double x, double lo, double hi) noexcept {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Degrees -> radians.
+constexpr double deg_to_rad(double deg) noexcept { return deg * kPi / 180.0; }
+
+/// Radians -> degrees.
+constexpr double rad_to_deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+/// Normalise an angle in degrees into (-180, 180].
+double wrap_angle_deg(double deg) noexcept;
+
+/// Smallest absolute angular difference |a-b| in degrees, result in [0, 180].
+double angle_distance_deg(double a, double b) noexcept;
+
+/// True if x is a finite real number (not NaN/inf).
+inline bool is_finite(double x) noexcept { return std::isfinite(x); }
+
+/// Positive infinity shorthand.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace facsp

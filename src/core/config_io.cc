@@ -1,0 +1,245 @@
+#include "core/config_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace facsp::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Field registry: one entry per serialisable scenario field, with a
+/// printer and a parser, so save and load can never drift apart.
+struct Field {
+  std::function<std::string(const ScenarioConfig&)> print;
+  std::function<void(ScenarioConfig&, const std::string&)> parse;
+};
+
+double parse_double(const std::string& v) {
+  std::size_t used = 0;
+  const double x = std::stod(v, &used);
+  if (used != v.size()) throw std::invalid_argument("trailing characters");
+  return x;
+}
+
+bool parse_bool(const std::string& v) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("expected true/false");
+}
+
+const std::map<std::string, Field>& registry() {
+  static const std::map<std::string, Field> kFields = [] {
+    std::map<std::string, Field> f;
+    auto add_double = [&f](const std::string& key, auto getter, auto setter) {
+      f[key] = Field{
+          [getter](const ScenarioConfig& s) {
+            std::ostringstream os;
+            os << getter(s);
+            return os.str();
+          },
+          [setter](ScenarioConfig& s, const std::string& v) {
+            setter(s, parse_double(v));
+          }};
+    };
+
+    f["seed"] = Field{
+        [](const ScenarioConfig& s) { return std::to_string(s.seed); },
+        [](ScenarioConfig& s, const std::string& v) {
+          s.seed = std::stoull(v);
+        }};
+    f["rings"] = Field{
+        [](const ScenarioConfig& s) { return std::to_string(s.rings); },
+        [](ScenarioConfig& s, const std::string& v) { s.rings = std::stoi(v); }};
+    add_double(
+        "cell_radius_m", [](const ScenarioConfig& s) { return s.cell_radius_m; },
+        [](ScenarioConfig& s, double v) { s.cell_radius_m = v; });
+    add_double(
+        "capacity_bu", [](const ScenarioConfig& s) { return s.capacity_bu; },
+        [](ScenarioConfig& s, double v) { s.capacity_bu = v; });
+    f["background_traffic"] = Field{
+        [](const ScenarioConfig& s) {
+          return std::string(s.background_traffic ? "true" : "false");
+        },
+        [](ScenarioConfig& s, const std::string& v) {
+          s.background_traffic = parse_bool(v);
+        }};
+    f["enable_mobility"] = Field{
+        [](const ScenarioConfig& s) {
+          return std::string(s.enable_mobility ? "true" : "false");
+        },
+        [](ScenarioConfig& s, const std::string& v) {
+          s.enable_mobility = parse_bool(v);
+        }};
+    add_double(
+        "mobility_update_s",
+        [](const ScenarioConfig& s) { return s.mobility_update_s; },
+        [](ScenarioConfig& s, double v) { s.mobility_update_s = v; });
+    add_double(
+        "horizon_s", [](const ScenarioConfig& s) { return s.horizon_s; },
+        [](ScenarioConfig& s, double v) { s.horizon_s = v; });
+
+    // traffic.*
+    add_double(
+        "traffic.arrival_window_s",
+        [](const ScenarioConfig& s) { return s.traffic.arrival_window_s; },
+        [](ScenarioConfig& s, double v) { s.traffic.arrival_window_s = v; });
+    add_double(
+        "traffic.mean_holding_s",
+        [](const ScenarioConfig& s) { return s.traffic.mean_holding_s; },
+        [](ScenarioConfig& s, double v) { s.traffic.mean_holding_s = v; });
+    add_double(
+        "traffic.mix.text",
+        [](const ScenarioConfig& s) { return s.traffic.mix.text; },
+        [](ScenarioConfig& s, double v) { s.traffic.mix.text = v; });
+    add_double(
+        "traffic.mix.voice",
+        [](const ScenarioConfig& s) { return s.traffic.mix.voice; },
+        [](ScenarioConfig& s, double v) { s.traffic.mix.voice = v; });
+    add_double(
+        "traffic.mix.video",
+        [](const ScenarioConfig& s) { return s.traffic.mix.video; },
+        [](ScenarioConfig& s, double v) { s.traffic.mix.video = v; });
+    add_double(
+        "traffic.min_speed_kmh",
+        [](const ScenarioConfig& s) { return s.traffic.min_speed_kmh; },
+        [](ScenarioConfig& s, double v) { s.traffic.min_speed_kmh = v; });
+    add_double(
+        "traffic.max_speed_kmh",
+        [](const ScenarioConfig& s) { return s.traffic.max_speed_kmh; },
+        [](ScenarioConfig& s, double v) { s.traffic.max_speed_kmh = v; });
+    // Optional fields: "none" disables them.
+    f["traffic.fixed_speed_kmh"] = Field{
+        [](const ScenarioConfig& s) {
+          return s.traffic.fixed_speed_kmh
+                     ? std::to_string(*s.traffic.fixed_speed_kmh)
+                     : std::string("none");
+        },
+        [](ScenarioConfig& s, const std::string& v) {
+          if (v == "none")
+            s.traffic.fixed_speed_kmh.reset();
+          else
+            s.traffic.fixed_speed_kmh = parse_double(v);
+        }};
+    f["traffic.fixed_angle_deg"] = Field{
+        [](const ScenarioConfig& s) {
+          return s.traffic.fixed_angle_deg
+                     ? std::to_string(*s.traffic.fixed_angle_deg)
+                     : std::string("none");
+        },
+        [](ScenarioConfig& s, const std::string& v) {
+          if (v == "none")
+            s.traffic.fixed_angle_deg.reset();
+          else
+            s.traffic.fixed_angle_deg = parse_double(v);
+        }};
+
+    // mobility.* / predictor.*
+    add_double(
+        "mobility.base_sigma_deg",
+        [](const ScenarioConfig& s) { return s.mobility.base_sigma_deg; },
+        [](ScenarioConfig& s, double v) { s.mobility.base_sigma_deg = v; });
+    add_double(
+        "mobility.reference_kmh",
+        [](const ScenarioConfig& s) { return s.mobility.reference_kmh; },
+        [](ScenarioConfig& s, double v) { s.mobility.reference_kmh = v; });
+    add_double(
+        "mobility.update_interval_s",
+        [](const ScenarioConfig& s) { return s.mobility.update_interval_s; },
+        [](ScenarioConfig& s, double v) { s.mobility.update_interval_s = v; });
+    add_double(
+        "mobility.speed_sigma_kmh",
+        [](const ScenarioConfig& s) { return s.mobility.speed_sigma_kmh; },
+        [](ScenarioConfig& s, double v) { s.mobility.speed_sigma_kmh = v; });
+    add_double(
+        "predictor.base_sigma_deg",
+        [](const ScenarioConfig& s) { return s.predictor.base_sigma_deg; },
+        [](ScenarioConfig& s, double v) { s.predictor.base_sigma_deg = v; });
+    add_double(
+        "predictor.reference_kmh",
+        [](const ScenarioConfig& s) { return s.predictor.reference_kmh; },
+        [](ScenarioConfig& s, double v) { s.predictor.reference_kmh = v; });
+    return f;
+  }();
+  return kFields;
+}
+
+}  // namespace
+
+void save_scenario(const ScenarioConfig& scenario, std::ostream& os) {
+  os << "# facsp scenario (key = value; 'none' clears optional fields)\n";
+  for (const auto& [key, field] : registry())
+    os << key << " = " << field.print(scenario) << '\n';
+}
+
+std::string scenario_to_string(const ScenarioConfig& scenario) {
+  std::ostringstream os;
+  save_scenario(scenario, os);
+  return os.str();
+}
+
+ScenarioConfig load_scenario(std::istream& is) {
+  ScenarioConfig scenario;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos)
+      throw ParseError("scenario: expected 'key = value', got '" + trimmed +
+                           "'",
+                       lineno);
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    const auto it = registry().find(key);
+    if (it == registry().end())
+      throw ParseError("scenario: unknown key '" + key + "'", lineno);
+    try {
+      it->second.parse(scenario, value);
+    } catch (const std::exception& e) {
+      throw ParseError("scenario: bad value '" + value + "' for '" + key +
+                           "' (" + e.what() + ")",
+                       lineno);
+    }
+  }
+  scenario.validate();
+  return scenario;
+}
+
+ScenarioConfig scenario_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_scenario(is);
+}
+
+void save_scenario_file(const ScenarioConfig& scenario,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open '" + path + "' for writing");
+  save_scenario(scenario, os);
+  if (!os) throw Error("failed writing '" + path + "'");
+}
+
+ScenarioConfig load_scenario_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open '" + path + "'");
+  return load_scenario(is);
+}
+
+}  // namespace facsp::core

@@ -1,0 +1,36 @@
+// Scenario (de)serialization: a flat, commented key=value format so
+// experiments are shareable as plain files.
+//
+//   # paper baseline, heavier video share
+//   seed = 7
+//   cell_radius_m = 2000
+//   traffic.mix.video = 0.2
+//   traffic.mix.text = 0.6
+//
+// Unknown keys are an error (typos must not silently revert to defaults).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/scenario.h"
+
+namespace facsp::core {
+
+/// Render the full scenario as key=value lines (every field, commented).
+void save_scenario(const ScenarioConfig& scenario, std::ostream& os);
+std::string scenario_to_string(const ScenarioConfig& scenario);
+
+/// Parse key=value lines over a default-constructed scenario.  '#' starts
+/// a comment; blank lines are skipped.  Throws facsp::ParseError with a
+/// line number on syntax errors or unknown keys, facsp::ConfigError when
+/// the resulting scenario fails validation.
+ScenarioConfig load_scenario(std::istream& is);
+ScenarioConfig scenario_from_string(const std::string& text);
+
+/// File convenience wrappers (throw facsp::Error on I/O failure).
+void save_scenario_file(const ScenarioConfig& scenario,
+                        const std::string& path);
+ScenarioConfig load_scenario_file(const std::string& path);
+
+}  // namespace facsp::core

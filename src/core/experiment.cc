@@ -1,0 +1,173 @@
+#include "core/experiment.h"
+
+#include "cac/facs.h"
+#include "cac/facs_p.h"
+#include "cac/guard_channel.h"
+#include "cac/scc.h"
+#include "common/expects.h"
+
+namespace facsp::core {
+
+SweepConfig SweepConfig::paper_grid(int replications) {
+  SweepConfig c;
+  for (int n = 10; n <= 100; n += 10) c.n_values.push_back(n);
+  c.replications = replications;
+  return c;
+}
+
+namespace {
+
+sim::Series stats_series(const std::string& name,
+                         const std::vector<SweepPoint>& points,
+                         const sim::SummaryStats SweepPoint::* member,
+                         double ci_level) {
+  sim::Series s(name);
+  for (const auto& p : points) {
+    const sim::SummaryStats& st = p.*member;
+    s.add(p.n, st.mean(), st.ci_half_width(ci_level));
+  }
+  return s;
+}
+
+}  // namespace
+
+sim::Series SweepResult::acceptance_series(double ci_level) const {
+  return stats_series(policy_name, points, &SweepPoint::acceptance_percent,
+                      ci_level);
+}
+
+sim::Series SweepResult::dropping_series(double ci_level) const {
+  return stats_series(policy_name, points, &SweepPoint::dropping_percent,
+                      ci_level);
+}
+
+sim::Series SweepResult::completion_series(double ci_level) const {
+  return stats_series(policy_name, points, &SweepPoint::completion_percent,
+                      ci_level);
+}
+
+Experiment::Experiment(ScenarioConfig scenario, PolicyFactory factory,
+                       std::string policy_label)
+    : scenario_(scenario),
+      factory_(std::move(factory)),
+      label_(std::move(policy_label)) {
+  scenario_.validate();
+  FACSP_EXPECTS(static_cast<bool>(factory_));
+}
+
+RunResult Experiment::run_single(int n, std::uint64_t replication) const {
+  // The policy must see the same network object the driver simulates, so
+  // build the driver first and hand its network to the factory.
+  // SessionDriver owns the network; policy construction needs it => create
+  // driver with a placeholder policy is impossible.  Instead: the factory
+  // contract is that the network reference stays valid for the run, so we
+  // construct the network inside the driver and rebuild the policy against
+  // it via a two-phase dance: driver exposes network().
+  struct Deferred : cac::AdmissionPolicy {
+    std::unique_ptr<cac::AdmissionPolicy> inner;
+    std::string_view name() const noexcept override {
+      return inner ? inner->name() : "deferred";
+    }
+    cac::AdmissionDecision decide(const cac::AdmissionRequest& req,
+                                  const cellular::BaseStation& bs) override {
+      return inner->decide(req, bs);
+    }
+    void on_admitted(const cac::AdmissionRequest& req,
+                     const cellular::BaseStation& bs) override {
+      inner->on_admitted(req, bs);
+    }
+    void on_released(cellular::ConnectionId id,
+                     cellular::ServiceClass service,
+                     const cellular::BaseStation& bs) override {
+      inner->on_released(id, service, bs);
+    }
+    void on_mobility(cellular::ConnectionId id,
+                     const cellular::MobileState& state,
+                     sim::SimTime now) override {
+      inner->on_mobility(id, state, now);
+    }
+    void reset() override {
+      if (inner) inner->reset();
+    }
+  };
+
+  Deferred deferred;
+  SessionDriver driver(scenario_, deferred, replication);
+  sim::RngFactory rng(
+      sim::hash_seed(scenario_.seed, "policy", replication));
+  deferred.inner = factory_(driver.network(), rng);
+  return driver.run(n);
+}
+
+SweepResult Experiment::run(const SweepConfig& sweep) const {
+  FACSP_EXPECTS(!sweep.n_values.empty());
+  FACSP_EXPECTS(sweep.replications >= 1);
+
+  SweepResult result;
+  result.policy_name = label_;
+  result.points.reserve(sweep.n_values.size());
+  for (int n : sweep.n_values) {
+    SweepPoint point;
+    point.n = n;
+    for (int r = 0; r < sweep.replications; ++r) {
+      const RunResult run = run_single(n, static_cast<std::uint64_t>(r));
+      point.acceptance_percent.add(run.metrics.acceptance_percent());
+      point.dropping_percent.add(100.0 *
+                                 run.metrics.dropping_probability());
+      point.utilization_percent.add(100.0 * run.center_utilization);
+      point.completion_percent.add(100.0 * run.metrics.completion_ratio());
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+PolicyFactory make_facs_p_factory(cac::FacsPConfig config) {
+  return [config](const cellular::CellularNetwork&, sim::RngFactory&) {
+    return std::make_unique<cac::FacsPPolicy>(config);
+  };
+}
+
+PolicyFactory make_facs_pr_factory(cac::FacsPrConfig config) {
+  return [config](const cellular::CellularNetwork&, sim::RngFactory&) {
+    return std::make_unique<cac::FacsPrPolicy>(config);
+  };
+}
+
+PolicyFactory make_facs_factory(cac::FacsConfig config) {
+  return [config](const cellular::CellularNetwork& network,
+                  sim::RngFactory&) {
+    cac::FacsConfig cfg = config;
+    if (cfg.flc1.cell_radius_m <= 0.0)
+      cfg.flc1.cell_radius_m = network.layout().cell_radius();
+    return std::make_unique<cac::FacsPolicy>(cfg);
+  };
+}
+
+PolicyFactory make_scc_factory(cac::SccConfig config) {
+  return [config](const cellular::CellularNetwork& network,
+                  sim::RngFactory&) {
+    return std::make_unique<cac::SccPolicy>(network, config);
+  };
+}
+
+PolicyFactory make_guard_channel_factory(cellular::Bandwidth guard_bu) {
+  return [guard_bu](const cellular::CellularNetwork&, sim::RngFactory&) {
+    return std::make_unique<cac::GuardChannelPolicy>(guard_bu);
+  };
+}
+
+PolicyFactory make_fractional_guard_factory(cellular::Bandwidth guard_bu) {
+  return [guard_bu](const cellular::CellularNetwork&, sim::RngFactory& rng) {
+    return std::make_unique<cac::FractionalGuardChannelPolicy>(
+        guard_bu, rng.stream("fgc"));
+  };
+}
+
+PolicyFactory make_complete_sharing_factory() {
+  return [](const cellular::CellularNetwork&, sim::RngFactory&) {
+    return std::make_unique<cac::CompleteSharingPolicy>();
+  };
+}
+
+}  // namespace facsp::core

@@ -1,0 +1,94 @@
+// Experiment harness: replicated sweeps over "number of requesting
+// connections" (the x-axis of every figure), aggregated with confidence
+// intervals, for any admission policy.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cac/facs.h"
+#include "cac/facs_p.h"
+#include "cac/facs_pr.h"
+#include "cac/policy.h"
+#include "cac/scc.h"
+#include "cellular/network.h"
+#include "core/scenario.h"
+#include "core/session.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "sim/timeseries.h"
+
+namespace facsp::core {
+
+/// Builds a fresh policy for one replication.  The factory receives the
+/// replication's network (SCC needs the geometry) and a per-replication
+/// RNG factory (randomised policies draw their own streams).
+using PolicyFactory = std::function<std::unique_ptr<cac::AdmissionPolicy>(
+    const cellular::CellularNetwork& network, sim::RngFactory& rng)>;
+
+/// Sweep parameters shared by the figure benches.
+struct SweepConfig {
+  std::vector<int> n_values;  ///< x axis: number of requesting connections
+  int replications = 20;
+  double ci_level = 0.95;
+
+  /// The paper's x grid: 10, 20, ..., 100.
+  static SweepConfig paper_grid(int replications = 20);
+};
+
+/// Aggregate of one (policy, N) cell of a sweep.
+struct SweepPoint {
+  int n = 0;
+  sim::SummaryStats acceptance_percent;
+  sim::SummaryStats dropping_percent;
+  sim::SummaryStats utilization_percent;
+  sim::SummaryStats completion_percent;
+};
+
+/// Result of a full sweep for one policy.
+struct SweepResult {
+  std::string policy_name;
+  std::vector<SweepPoint> points;
+
+  /// Acceptance-percentage series (mean +/- CI) for figure rendering.
+  sim::Series acceptance_series(double ci_level = 0.95) const;
+  /// Handoff-dropping series (extended metric).
+  sim::Series dropping_series(double ci_level = 0.95) const;
+  /// Completion-ratio series: % of admitted calls not dropped mid-call.
+  sim::Series completion_series(double ci_level = 0.95) const;
+};
+
+/// Runs replicated sweeps.  Policies are compared under common random
+/// numbers: replication r uses the same workload for every policy.
+class Experiment {
+ public:
+  Experiment(ScenarioConfig scenario, PolicyFactory factory,
+             std::string policy_label);
+
+  /// Run the full sweep.
+  SweepResult run(const SweepConfig& sweep) const;
+
+  /// Run a single (N, replication) cell — used by tests and examples.
+  RunResult run_single(int n, std::uint64_t replication) const;
+
+  const ScenarioConfig& scenario() const noexcept { return scenario_; }
+
+ private:
+  ScenarioConfig scenario_;
+  PolicyFactory factory_;
+  std::string label_;
+};
+
+// --- canonical policy factories ------------------------------------------
+
+PolicyFactory make_facs_p_factory(cac::FacsPConfig config = {});
+PolicyFactory make_facs_pr_factory(cac::FacsPrConfig config = {});
+PolicyFactory make_facs_factory(cac::FacsConfig config = {});
+PolicyFactory make_scc_factory(cac::SccConfig config = {});
+PolicyFactory make_guard_channel_factory(cellular::Bandwidth guard_bu);
+PolicyFactory make_fractional_guard_factory(cellular::Bandwidth guard_bu);
+PolicyFactory make_complete_sharing_factory();
+
+}  // namespace facsp::core

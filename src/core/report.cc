@@ -1,0 +1,66 @@
+#include "core/report.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/expects.h"
+
+namespace facsp::core {
+
+std::optional<double> crossover_x(const sim::Series& a, const sim::Series& b) {
+  FACSP_EXPECTS(b.size() > 0);
+  bool was_above = false;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double x = b.x(i);
+    const double ya = a.y_at(x);
+    const double yb = b.y(i);
+    if (ya >= yb) {
+      was_above = true;
+    } else if (was_above) {
+      return x;
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_non_increasing(const sim::Series& s, double slack) {
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s.y(i) > s.y(i - 1) + slack) return false;
+  return true;
+}
+
+bool ordered_at(const std::vector<const sim::Series*>& series, double x_probe,
+                double slack) {
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i]->y_at(x_probe) + slack < series[i - 1]->y_at(x_probe))
+      return false;
+  }
+  return true;
+}
+
+double mean_y(const sim::Series& s) {
+  FACSP_EXPECTS(s.size() > 0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) sum += s.y(i);
+  return sum / static_cast<double>(s.size());
+}
+
+void write_csv(const sim::Figure& figure, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open '" + path + "' for writing");
+  figure.print_csv(os);
+  if (!os) throw Error("failed writing '" + path + "'");
+}
+
+void print_shape_checks(std::ostream& os,
+                        const std::vector<ShapeCheck>& checks) {
+  os << "-- shape checks (paper-vs-measured) --\n";
+  for (const auto& c : checks) {
+    os << (c.passed ? "  [PASS] " : "  [FAIL] ") << c.description;
+    if (!c.details.empty()) os << "  (" << c.details << ')';
+    os << '\n';
+  }
+}
+
+}  // namespace facsp::core

@@ -1,0 +1,45 @@
+// Reporting helpers: CSV emission, crossover detection and the qualitative
+// "shape checks" that EXPERIMENTS.md records for each figure.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/timeseries.h"
+
+namespace facsp::core {
+
+/// One qualitative expectation derived from the paper (e.g. "FACS-P above
+/// FACS for small N, below for large N").
+struct ShapeCheck {
+  std::string description;
+  bool passed = false;
+  std::string details;
+};
+
+/// First x at which series `a` stops being >= series `b` (comparing at b's
+/// x grid, stepwise).  nullopt when no crossover happens.
+std::optional<double> crossover_x(const sim::Series& a, const sim::Series& b);
+
+/// True when the series is non-increasing in y along x within `slack`.
+bool is_non_increasing(const sim::Series& s, double slack = 1e-9);
+
+/// True when y values at `x_probe` are ordered s[0] <= s[1] <= ... within
+/// `slack` (used for "higher speed => higher acceptance" checks).
+bool ordered_at(const std::vector<const sim::Series*>& series, double x_probe,
+                double slack = 0.0);
+
+/// Mean of a series' y values.
+double mean_y(const sim::Series& s);
+
+/// Write a figure's CSV next to the bench output.  Throws facsp::Error on
+/// I/O failure.
+void write_csv(const sim::Figure& figure, const std::string& path);
+
+/// Render shape checks as a PASS/FAIL block.
+void print_shape_checks(std::ostream& os,
+                        const std::vector<ShapeCheck>& checks);
+
+}  // namespace facsp::core

@@ -1,0 +1,18 @@
+#include "core/scenario.h"
+
+#include "common/error.h"
+
+namespace facsp::core {
+
+void ScenarioConfig::validate() const {
+  if (rings < 0) throw ConfigError("scenario: rings must be >= 0");
+  if (cell_radius_m <= 0.0)
+    throw ConfigError("scenario: cell radius must be > 0");
+  if (capacity_bu <= 0.0) throw ConfigError("scenario: capacity must be > 0");
+  traffic.validate();
+  if (mobility_update_s <= 0.0)
+    throw ConfigError("scenario: mobility update period must be > 0");
+  if (horizon_s <= 0.0) throw ConfigError("scenario: horizon must be > 0");
+}
+
+}  // namespace facsp::core

@@ -1,0 +1,49 @@
+// Scenario configuration: everything one simulation run depends on.
+// Defaults reproduce the paper's Sec. 4 setup.
+#pragma once
+
+#include <cstdint>
+
+#include "cellular/mobility.h"
+#include "cellular/service.h"
+#include "cellular/traffic.h"
+
+namespace facsp::core {
+
+/// Full description of the simulated world and workload.
+struct ScenarioConfig {
+  // --- topology -----------------------------------------------------------
+  /// Rings of cells around the centre cell (1 -> 7 cells).  The paper's
+  /// figures are measured on the centre cell; neighbours exist so handoffs
+  /// and SCC shadows have somewhere to go.
+  int rings = 1;
+  double cell_radius_m = 2000.0;
+  /// Paper: "the bandwidth of the BS was considered 40 BU".
+  cellular::Bandwidth capacity_bu = 40.0;
+
+  // --- workload ------------------------------------------------------------
+  cellular::TrafficConfig traffic{};
+  /// When true, every cell (not just the centre) generates the same number
+  /// of requesting connections toward its own base station; the headline
+  /// metrics are still measured on centre-cell requests.  Off by default:
+  /// the paper's figures are single-BS measurements; turning it on gives a
+  /// uniformly loaded network (see the handoff_storm example).
+  bool background_traffic = false;
+
+  // --- mobility ------------------------------------------------------------
+  bool enable_mobility = true;
+  cellular::MobilityConfig mobility{};
+  cellular::DirectionPredictor::Config predictor{};
+  /// Mobility update / cell-boundary check period (seconds).
+  double mobility_update_s = 5.0;
+
+  // --- control -------------------------------------------------------------
+  /// Hard stop; runs normally end earlier (when every call finished).
+  double horizon_s = 24.0 * 3600.0;
+  std::uint64_t seed = 42;
+
+  /// Throws facsp::ConfigError on invalid values.
+  void validate() const;
+};
+
+}  // namespace facsp::core

@@ -1,0 +1,200 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "common/expects.h"
+
+namespace facsp::core {
+
+using cellular::Connection;
+using cellular::ConnectionId;
+using cellular::ConnectionState;
+using cellular::RequestKind;
+
+SessionDriver::SessionDriver(const ScenarioConfig& scenario,
+                             cac::AdmissionPolicy& policy,
+                             std::uint64_t replication)
+    : scenario_(scenario),
+      policy_(policy),
+      rng_(sim::hash_seed(scenario.seed, "replication", replication)) {
+  scenario_.validate();
+  network_ = std::make_unique<cellular::CellularNetwork>(
+      scenario_.rings, scenario_.cell_radius_m, scenario_.capacity_bu);
+  // Centre generator first, then (optionally) one per remaining cell.  Each
+  // generator gets a disjoint id range and its own random stream so adding
+  // background cells never perturbs the centre's workload.
+  constexpr cellular::ConnectionId kIdStride = 1u << 24;
+  traffic_.push_back(std::make_unique<cellular::TrafficGenerator>(
+      scenario_.traffic, network_->layout(), cellular::HexCoord{0, 0},
+      network_->center().position(), rng_.stream("traffic", 0), 1));
+  if (scenario_.background_traffic) {
+    for (cellular::BaseStation* bs : network_->stations()) {
+      if (bs->coord() == cellular::HexCoord{0, 0}) continue;
+      traffic_.push_back(std::make_unique<cellular::TrafficGenerator>(
+          scenario_.traffic, network_->layout(), bs->coord(), bs->position(),
+          rng_.stream("traffic", bs->id() + 1),
+          kIdStride * (bs->id() + 1)));
+    }
+  }
+  mobility_ = std::make_unique<cellular::MobilityModel>(
+      scenario_.mobility, rng_.stream("mobility"));
+  predictor_ = std::make_unique<cellular::DirectionPredictor>(
+      scenario_.predictor, rng_.stream("predictor"));
+}
+
+cac::AdmissionRequest SessionDriver::make_request(
+    const Connection& conn, const cellular::MobileState& state,
+    RequestKind kind, const cellular::BaseStation& target) {
+  cac::AdmissionRequest req;
+  req.id = conn.id;
+  req.service = conn.service;
+  req.bandwidth = conn.bandwidth;
+  req.kind = kind;
+  req.priority = conn.priority;
+  req.speed_kmh = state.speed_kmh;
+  req.angle_deg = predictor_->predict_angle_deg(state, target.position());
+  req.distance_m = cellular::distance(state.position, target.position());
+  req.mobile = state;
+  req.now = sim_.now();
+  return req;
+}
+
+void SessionDriver::handle_arrival(const cellular::CallRequest& call,
+                                   bool measured) {
+  cellular::BaseStation* bs = network_->station_covering(call.mobile.position);
+  FACSP_ENSURES(bs != nullptr);  // requests spawn inside their own cell
+
+  Session s;
+  s.conn.id = call.id;
+  s.conn.service = call.service;
+  s.conn.bandwidth = call.bandwidth;
+  s.conn.priority = call.priority;
+  s.conn.origin = RequestKind::kNew;
+  s.conn.state = ConnectionState::kPending;
+  s.conn.request_time = sim_.now();
+  s.conn.holding_time = call.holding_time;
+  s.state = call.mobile;
+  s.serving = bs;
+  s.measured = measured;
+
+  const auto req = make_request(s.conn, s.state, RequestKind::kNew, *bs);
+  const auto decision = policy_.decide(req, *bs);
+  if (measured)
+    metrics_.record_new_call(call.service, call.priority,
+                             decision.admitted);
+  if (!decision.admitted) {
+    return;  // blocked; nothing was allocated
+  }
+
+  const bool ok = bs->allocate(s.conn, sim_.now(), /*via_handoff=*/false);
+  FACSP_ENSURES(ok);  // decide() verified can_fit under the same event
+  policy_.on_admitted(req, *bs);
+  s.conn.state = ConnectionState::kActive;
+  s.conn.start_time = sim_.now();
+
+  const ConnectionId id = call.id;
+  s.completion = sim_.schedule_in(call.holding_time,
+                                  [this, id] { handle_completion(id); });
+  if (scenario_.enable_mobility)
+    s.next_move = sim_.schedule_in(scenario_.mobility_update_s,
+                                   [this, id] { handle_mobility(id); });
+  sessions_.emplace(id, std::move(s));
+}
+
+void SessionDriver::finish(Session& s, ConnectionState final_state) {
+  if (s.conn.state == ConnectionState::kActive && s.serving != nullptr) {
+    s.serving->release(s.conn.id, sim_.now());
+    policy_.on_released(s.conn.id, s.conn.service, *s.serving);
+  }
+  sim_.cancel(s.completion);
+  sim_.cancel(s.next_move);
+  s.conn.state = final_state;
+  s.conn.end_time = sim_.now();
+  if (s.measured) {
+    if (final_state == ConnectionState::kCompleted)
+      metrics_.record_completion(s.conn.service);
+    else if (final_state == ConnectionState::kDropped)
+      metrics_.record_drop(s.conn.service);
+  }
+  sessions_.erase(s.conn.id);
+}
+
+void SessionDriver::handle_completion(ConnectionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;  // already finished
+  finish(it->second, ConnectionState::kCompleted);
+}
+
+void SessionDriver::do_handoff(Session& s, cellular::BaseStation& target) {
+  const auto req =
+      make_request(s.conn, s.state, RequestKind::kHandoff, target);
+  const auto decision = policy_.decide(req, target);
+  if (s.measured) metrics_.record_handoff(s.conn.service, decision.admitted);
+  if (!decision.admitted) {
+    finish(s, ConnectionState::kDropped);
+    return;
+  }
+  // Release on the source, then allocate on the target.
+  s.serving->release(s.conn.id, sim_.now());
+  policy_.on_released(s.conn.id, s.conn.service, *s.serving);
+  const bool ok = target.allocate(s.conn, sim_.now(), /*via_handoff=*/true);
+  FACSP_ENSURES(ok);
+  policy_.on_admitted(req, target);
+  s.serving = &target;
+  ++s.conn.handoff_count;
+}
+
+void SessionDriver::handle_mobility(ConnectionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+
+  mobility_->advance(s.state, scenario_.mobility_update_s);
+  policy_.on_mobility(id, s.state, sim_.now());
+
+  cellular::BaseStation* here =
+      network_->station_covering(s.state.position);
+  if (here == nullptr) {
+    // Left the modelled service area: the call leaves the system with its
+    // resources freed (counted as a normal completion — the network did not
+    // fail it).
+    finish(s, ConnectionState::kCompleted);
+    return;
+  }
+  if (here != s.serving) {
+    do_handoff(s, *here);
+    if (!sessions_.contains(id)) return;  // dropped during handoff
+  }
+  s.next_move = sim_.schedule_in(scenario_.mobility_update_s,
+                                 [this, id] { handle_mobility(id); });
+}
+
+RunResult SessionDriver::run(int n_requests) {
+  FACSP_EXPECTS(n_requests >= 0);
+  policy_.reset();
+  network_->start_metrics(0.0);
+
+  for (std::size_t g = 0; g < traffic_.size(); ++g) {
+    const bool measured = (g == 0);  // element 0 is the centre's generator
+    for (const auto& call : traffic_[g]->generate(n_requests)) {
+      sim_.schedule_at(call.arrival_time, [this, call, measured] {
+        handle_arrival(call, measured);
+      });
+    }
+  }
+  sim_.run_until(scenario_.horizon_s);
+
+  RunResult result;
+  result.metrics = metrics_;
+  // Average over the active period (first arrival batch to last event),
+  // not to the safety horizon — run_until() parks the clock there even
+  // when the system drained hours earlier.
+  const sim::SimTime end = std::max(sim_.last_event_time(), 1e-9);
+  result.duration_s = end;
+  result.events = sim_.events_fired();
+  result.center_utilization =
+      network_->center().average_utilization(end);
+  return result;
+}
+
+}  // namespace facsp::core

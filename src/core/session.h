@@ -1,0 +1,79 @@
+// Session driver: executes one replication of the paper's experiment —
+// N requesting connections arriving in the centre cell, admission control,
+// call holding, mobility, handoff between cells, and metric collection.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "cac/policy.h"
+#include "cellular/metrics.h"
+#include "cellular/network.h"
+#include "cellular/traffic.h"
+#include "core/scenario.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace facsp::core {
+
+/// Outcome of one replication.
+struct RunResult {
+  cellular::MetricsCollector metrics;
+  double center_utilization = 0.0;  ///< time-averaged, centre cell
+  sim::SimTime duration_s = 0.0;    ///< simulated time until the run drained
+  std::uint64_t events = 0;         ///< DES events fired
+};
+
+/// Drives one simulation run.  Owns the network, simulator and per-run
+/// random streams; the admission policy is borrowed (reset() is called at
+/// the start of the run).
+class SessionDriver {
+ public:
+  /// `replication` seeds the run's random streams (common random numbers:
+  /// the same (scenario.seed, replication) pair generates the same workload
+  /// for every policy).
+  SessionDriver(const ScenarioConfig& scenario, cac::AdmissionPolicy& policy,
+                std::uint64_t replication);
+
+  /// Simulate `n_requests` new-call requests and run until every admitted
+  /// call completed, dropped, or left the network (or the horizon hit).
+  RunResult run(int n_requests);
+
+  const cellular::CellularNetwork& network() const noexcept { return *network_; }
+
+ private:
+  struct Session {
+    cellular::Connection conn;
+    cellular::MobileState state;
+    cellular::BaseStation* serving = nullptr;
+    bool measured = false;  ///< true when the call originated in the centre
+    sim::EventHandle completion{};
+    sim::EventHandle next_move{};
+  };
+
+  void handle_arrival(const cellular::CallRequest& req, bool measured);
+  void handle_completion(cellular::ConnectionId id);
+  void handle_mobility(cellular::ConnectionId id);
+  void do_handoff(Session& s, cellular::BaseStation& target);
+  void finish(Session& s, cellular::ConnectionState final_state);
+
+  cac::AdmissionRequest make_request(const cellular::Connection& conn,
+                                     const cellular::MobileState& state,
+                                     cellular::RequestKind kind,
+                                     const cellular::BaseStation& target);
+
+  ScenarioConfig scenario_;
+  cac::AdmissionPolicy& policy_;
+  std::unique_ptr<cellular::CellularNetwork> network_;
+  sim::Simulator sim_;
+  sim::RngFactory rng_;
+  /// One generator per spawning cell (just the centre unless
+  /// background_traffic is on).  Element 0 is always the centre's.
+  std::vector<std::unique_ptr<cellular::TrafficGenerator>> traffic_;
+  std::unique_ptr<cellular::MobilityModel> mobility_;
+  std::unique_ptr<cellular::DirectionPredictor> predictor_;
+  cellular::MetricsCollector metrics_;
+  std::unordered_map<cellular::ConnectionId, Session> sessions_;
+};
+
+}  // namespace facsp::core

@@ -1,0 +1,154 @@
+#include "fuzzy/builder.h"
+
+#include "common/error.h"
+#include "fuzzy/rule_parser.h"
+#include "fuzzy/rulebase.h"
+
+namespace facsp::fuzzy {
+
+VariableBuilder::VariableBuilder(std::string name, double universe_lo,
+                                 double universe_hi)
+    : name_(std::move(name)), lo_(universe_lo), hi_(universe_hi) {}
+
+VariableBuilder& VariableBuilder::triangular(std::string term, double center,
+                                             double left_width,
+                                             double right_width) {
+  terms_.push_back({std::move(term), MembershipFunction::triangular(
+                                         center, left_width, right_width)});
+  return *this;
+}
+
+VariableBuilder& VariableBuilder::trapezoidal(std::string term,
+                                              double plateau_lo,
+                                              double plateau_hi,
+                                              double left_width,
+                                              double right_width) {
+  terms_.push_back({std::move(term),
+                    MembershipFunction::trapezoidal(plateau_lo, plateau_hi,
+                                                    left_width, right_width)});
+  return *this;
+}
+
+VariableBuilder& VariableBuilder::left_shoulder(std::string term,
+                                                double plateau_hi,
+                                                double right_width) {
+  terms_.push_back({std::move(term), MembershipFunction::left_shoulder(
+                                         plateau_hi, right_width)});
+  return *this;
+}
+
+VariableBuilder& VariableBuilder::right_shoulder(std::string term,
+                                                 double plateau_lo,
+                                                 double left_width) {
+  terms_.push_back({std::move(term), MembershipFunction::right_shoulder(
+                                         plateau_lo, left_width)});
+  return *this;
+}
+
+VariableBuilder& VariableBuilder::term(std::string term_name,
+                                       MembershipFunction mf) {
+  terms_.push_back({std::move(term_name), mf});
+  return *this;
+}
+
+VariableBuilder& VariableBuilder::uniform_partition(const std::string& prefix,
+                                                    int count) {
+  if (count < 2)
+    throw ConfigError("uniform_partition: need at least 2 terms");
+  const double step = (hi_ - lo_) / (count - 1);
+  for (int k = 0; k < count; ++k) {
+    const std::string name = prefix + std::to_string(k + 1);
+    const double center = lo_ + k * step;
+    if (k == 0) {
+      left_shoulder(name, center, step);
+    } else if (k == count - 1) {
+      right_shoulder(name, center, step);
+    } else {
+      triangular(name, center, step, step);
+    }
+  }
+  return *this;
+}
+
+LinguisticVariable VariableBuilder::build() const {
+  return LinguisticVariable(name_, lo_, hi_, terms_);
+}
+
+ControllerBuilder::ControllerBuilder(std::string name)
+    : name_(std::move(name)) {}
+
+ControllerBuilder& ControllerBuilder::input(LinguisticVariable v) {
+  inputs_.push_back(std::move(v));
+  return *this;
+}
+
+ControllerBuilder& ControllerBuilder::output(LinguisticVariable v) {
+  if (!output_.empty())
+    throw ConfigError("controller '" + name_ + "': output already set");
+  output_.push_back(std::move(v));
+  return *this;
+}
+
+ControllerBuilder& ControllerBuilder::rule(const std::string& text) {
+  if (output_.empty())
+    throw ConfigError("controller '" + name_ +
+                      "': declare output before rules");
+  rules_.push_back(parse_rule(text, inputs_, output_.front()));
+  return *this;
+}
+
+ControllerBuilder& ControllerBuilder::rule(
+    const std::vector<std::string>& antecedent_terms,
+    const std::string& consequent_term, double weight) {
+  if (output_.empty())
+    throw ConfigError("controller '" + name_ +
+                      "': declare output before rules");
+  if (antecedent_terms.size() != inputs_.size())
+    throw ConfigError("controller '" + name_ + "': rule arity mismatch");
+  FuzzyRule r;
+  r.weight = weight;
+  r.antecedents.reserve(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    r.antecedents.push_back(antecedent_terms[i] == "*"
+                                ? FuzzyRule::kAny
+                                : inputs_[i].term_index(antecedent_terms[i]));
+  }
+  r.consequent = output_.front().term_index(consequent_term);
+  rules_.push_back(std::move(r));
+  return *this;
+}
+
+ControllerBuilder& ControllerBuilder::rule_table(
+    const std::vector<std::string>& consequents) {
+  pending_table_ = consequents;
+  return *this;
+}
+
+ControllerBuilder& ControllerBuilder::inference(InferenceOptions options) {
+  inference_ = options;
+  return *this;
+}
+
+ControllerBuilder& ControllerBuilder::defuzzifier(Defuzzifier d) {
+  defuzz_ = d;
+  return *this;
+}
+
+std::unique_ptr<FuzzyController> ControllerBuilder::build() {
+  if (output_.empty())
+    throw ConfigError("controller '" + name_ + "': no output variable");
+  if (!pending_table_.empty()) {
+    RuleBase rb =
+        RuleBase::from_table(inputs_, output_.front(), pending_table_);
+    for (const auto& r : rb.rules()) rules_.push_back(r);
+    pending_table_.clear();
+  }
+  if (rules_.empty())
+    throw ConfigError("controller '" + name_ + "': no rules");
+  return std::make_unique<FuzzyController>(name_, std::move(inputs_),
+                                           std::move(output_.front()),
+                                           std::move(rules_), inference_,
+                                           defuzz_);
+}
+
+}  // namespace facsp::fuzzy

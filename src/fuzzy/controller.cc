@@ -1,0 +1,49 @@
+#include "fuzzy/controller.h"
+
+#include "common/expects.h"
+#include "fuzzy/rule.h"
+
+namespace facsp::fuzzy {
+
+FuzzyController::FuzzyController(std::string name,
+                                 std::vector<LinguisticVariable> inputs,
+                                 LinguisticVariable output,
+                                 std::vector<FuzzyRule> rules,
+                                 InferenceOptions inference,
+                                 Defuzzifier defuzzifier)
+    : name_(std::move(name)),
+      inputs_(std::move(inputs)),
+      output_(std::move(output)),
+      rules_(std::move(rules), inputs_, output_),
+      defuzz_(defuzzifier),
+      engine_(std::make_unique<InferenceEngine>(inputs_, output_, rules_,
+                                                inference)) {}
+
+double FuzzyController::evaluate(std::span<const double> crisp_inputs) const {
+  return defuzz_.defuzzify(engine_->infer(crisp_inputs), output_);
+}
+
+double FuzzyController::evaluate(
+    std::initializer_list<double> crisp_inputs) const {
+  return evaluate(std::span<const double>(crisp_inputs.begin(),
+                                          crisp_inputs.size()));
+}
+
+Explanation FuzzyController::explain(
+    std::span<const double> crisp_inputs) const {
+  Explanation ex;
+  ex.aggregated = engine_->infer_traced(crisp_inputs, ex.fired);
+  ex.crisp = defuzz_.defuzzify(ex.aggregated, output_);
+  ex.rule_text.reserve(ex.fired.size());
+  for (const auto& f : ex.fired)
+    ex.rule_text.push_back(to_string(rules_.rule(f.rule_index), inputs_,
+                                     output_));
+  return ex;
+}
+
+const LinguisticVariable& FuzzyController::input(std::size_t i) const {
+  FACSP_EXPECTS(i < inputs_.size());
+  return inputs_[i];
+}
+
+}  // namespace facsp::fuzzy

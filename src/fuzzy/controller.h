@@ -1,0 +1,80 @@
+// FuzzyController: the complete FLC of paper Fig. 2 — fuzzifier, inference
+// engine, fuzzy rule base and defuzzifier behind one crisp-in/crisp-out call.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzzy/defuzzifier.h"
+#include "fuzzy/inference.h"
+#include "fuzzy/rulebase.h"
+#include "fuzzy/variable.h"
+
+namespace facsp::fuzzy {
+
+/// Full rule-firing explanation of one evaluation (rule_explorer example and
+/// debugging).
+struct Explanation {
+  std::vector<FiredRule> fired;        ///< rules with strength > 0, descending
+  OutputFuzzySet aggregated;           ///< per-term activations
+  double crisp = 0.0;                  ///< defuzzified output
+  std::vector<std::string> rule_text;  ///< printable form of each fired rule
+};
+
+/// Crisp-in / crisp-out Mamdani fuzzy logic controller.
+///
+/// Owns its variables, rule base, inference engine and defuzzifier.  The
+/// object is immutable after construction and safe to share across threads
+/// for concurrent evaluate() calls.
+class FuzzyController {
+ public:
+  /// Throws facsp::ConfigError when the rule base does not match the
+  /// variables (arity/term indices) — see RuleBase.
+  FuzzyController(std::string name, std::vector<LinguisticVariable> inputs,
+                  LinguisticVariable output, std::vector<FuzzyRule> rules,
+                  InferenceOptions inference = {},
+                  Defuzzifier defuzzifier = Defuzzifier{});
+
+  FuzzyController(const FuzzyController&) = delete;
+  FuzzyController& operator=(const FuzzyController&) = delete;
+  FuzzyController(FuzzyController&&) = delete;
+  FuzzyController& operator=(FuzzyController&&) = delete;
+
+  /// Evaluate the controller for the crisp input vector (one entry per input
+  /// variable, clamped to universes).  Returns the defuzzified output.
+  double evaluate(std::span<const double> crisp_inputs) const;
+
+  /// Convenience overload for initializer lists: evaluate({30.0, 0.0, 5.0}).
+  double evaluate(std::initializer_list<double> crisp_inputs) const;
+
+  /// Evaluate and capture the full rule-firing explanation.
+  Explanation explain(std::span<const double> crisp_inputs) const;
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t input_count() const noexcept { return inputs_.size(); }
+  const std::vector<LinguisticVariable>& inputs() const noexcept {
+    return inputs_;
+  }
+  const LinguisticVariable& input(std::size_t i) const;
+  const LinguisticVariable& output() const noexcept { return output_; }
+  const RuleBase& rules() const noexcept { return rules_; }
+  const Defuzzifier& defuzzifier() const noexcept { return defuzz_; }
+  const InferenceOptions& inference_options() const noexcept {
+    return engine_->options();
+  }
+
+ private:
+  std::string name_;
+  std::vector<LinguisticVariable> inputs_;
+  LinguisticVariable output_;
+  RuleBase rules_;
+  Defuzzifier defuzz_;
+  // Engine references inputs_/output_/rules_, so it must be built last and
+  // the controller is non-movable.
+  std::unique_ptr<InferenceEngine> engine_;
+};
+
+}  // namespace facsp::fuzzy

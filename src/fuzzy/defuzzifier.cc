@@ -1,0 +1,143 @@
+#include "fuzzy/defuzzifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/expects.h"
+
+namespace facsp::fuzzy {
+
+const char* to_string(DefuzzMethod m) noexcept {
+  switch (m) {
+    case DefuzzMethod::kCentroid: return "centroid";
+    case DefuzzMethod::kBisector: return "bisector";
+    case DefuzzMethod::kMeanOfMaximum: return "mom";
+    case DefuzzMethod::kSmallestOfMaximum: return "som";
+    case DefuzzMethod::kLargestOfMaximum: return "lom";
+    case DefuzzMethod::kWeightedAverage: return "wavg";
+  }
+  return "centroid";
+}
+
+DefuzzMethod defuzz_method_from_string(std::string_view name) {
+  if (name == "centroid") return DefuzzMethod::kCentroid;
+  if (name == "bisector") return DefuzzMethod::kBisector;
+  if (name == "mom") return DefuzzMethod::kMeanOfMaximum;
+  if (name == "som") return DefuzzMethod::kSmallestOfMaximum;
+  if (name == "lom") return DefuzzMethod::kLargestOfMaximum;
+  if (name == "wavg") return DefuzzMethod::kWeightedAverage;
+  throw ConfigError("unknown defuzzification method '" + std::string(name) +
+                    "' (expected centroid|bisector|mom|som|lom|wavg)");
+}
+
+Defuzzifier::Defuzzifier(DefuzzMethod method, int resolution, SNorm aggregation)
+    : method_(method), resolution_(resolution), aggregation_(aggregation) {
+  if (resolution_ < 8)
+    throw ConfigError("defuzzifier: resolution must be >= 8");
+}
+
+double Defuzzifier::defuzzify(const OutputFuzzySet& set,
+                              const LinguisticVariable& output) const {
+  FACSP_EXPECTS(set.activations.size() == output.term_count());
+  if (set.empty())
+    return 0.5 * (output.universe_lo() + output.universe_hi());
+  switch (method_) {
+    case DefuzzMethod::kCentroid:
+      return centroid(set, output);
+    case DefuzzMethod::kBisector:
+      return bisector(set, output);
+    case DefuzzMethod::kMeanOfMaximum:
+    case DefuzzMethod::kSmallestOfMaximum:
+    case DefuzzMethod::kLargestOfMaximum:
+      return of_maximum(set, output);
+    case DefuzzMethod::kWeightedAverage:
+      return weighted_average(set, output);
+  }
+  return centroid(set, output);  // unreachable
+}
+
+double Defuzzifier::centroid(const OutputFuzzySet& set,
+                             const LinguisticVariable& output) const {
+  const double lo = output.universe_lo();
+  const double hi = output.universe_hi();
+  const double dy = (hi - lo) / (resolution_ - 1);
+  double num = 0.0, den = 0.0;
+  for (int i = 0; i < resolution_; ++i) {
+    const double y = lo + i * dy;
+    // Trapezoidal quadrature: halve the end samples.
+    const double w = (i == 0 || i == resolution_ - 1) ? 0.5 : 1.0;
+    const double mu = set.grade(output, y, aggregation_) * w;
+    num += mu * y;
+    den += mu;
+  }
+  if (den <= 0.0) return 0.5 * (lo + hi);
+  return num / den;
+}
+
+double Defuzzifier::bisector(const OutputFuzzySet& set,
+                             const LinguisticVariable& output) const {
+  const double lo = output.universe_lo();
+  const double hi = output.universe_hi();
+  const double dy = (hi - lo) / (resolution_ - 1);
+  std::vector<double> mu(static_cast<std::size_t>(resolution_));
+  double total = 0.0;
+  for (int i = 0; i < resolution_; ++i) {
+    mu[i] = set.grade(output, lo + i * dy, aggregation_);
+    total += mu[i];
+  }
+  if (total <= 0.0) return 0.5 * (lo + hi);
+  double acc = 0.0;
+  for (int i = 0; i < resolution_; ++i) {
+    acc += mu[i];
+    if (acc >= 0.5 * total) return lo + i * dy;
+  }
+  return hi;
+}
+
+double Defuzzifier::of_maximum(const OutputFuzzySet& set,
+                               const LinguisticVariable& output) const {
+  const double lo = output.universe_lo();
+  const double hi = output.universe_hi();
+  const double dy = (hi - lo) / (resolution_ - 1);
+  double max_mu = 0.0;
+  for (int i = 0; i < resolution_; ++i)
+    max_mu = std::max(max_mu, set.grade(output, lo + i * dy, aggregation_));
+  if (max_mu <= 0.0) return 0.5 * (lo + hi);
+
+  const double tol = 1e-9;
+  double first = hi, last = lo, sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < resolution_; ++i) {
+    const double y = lo + i * dy;
+    if (set.grade(output, y, aggregation_) >= max_mu - tol) {
+      first = std::min(first, y);
+      last = std::max(last, y);
+      sum += y;
+      ++count;
+    }
+  }
+  switch (method_) {
+    case DefuzzMethod::kSmallestOfMaximum: return first;
+    case DefuzzMethod::kLargestOfMaximum: return last;
+    default: return sum / count;
+  }
+}
+
+double Defuzzifier::weighted_average(const OutputFuzzySet& set,
+                                     const LinguisticVariable& output) const {
+  double num = 0.0, den = 0.0;
+  for (std::size_t k = 0; k < set.activations.size(); ++k) {
+    const double a = set.activations[k];
+    if (a <= 0.0) continue;
+    num += a * output.term(k).mf.core_center();
+    den += a;
+  }
+  if (den <= 0.0)
+    return 0.5 * (output.universe_lo() + output.universe_hi());
+  return num / den;
+}
+
+}  // namespace facsp::fuzzy

@@ -1,0 +1,62 @@
+// Defuzzification: turn an aggregated output fuzzy set into a crisp value.
+//
+// The paper uses a standard Mamdani pipeline; centroid (centre of gravity) is
+// the default.  Alternative methods are provided for the ablation study
+// (bench_ablation_defuzz) and for applications with different latency or
+// smoothness needs.
+#pragma once
+
+#include "fuzzy/inference.h"
+#include "fuzzy/variable.h"
+
+namespace facsp::fuzzy {
+
+/// Supported defuzzification methods.
+enum class DefuzzMethod {
+  kCentroid,           ///< centre of gravity of the aggregated set (default)
+  kBisector,           ///< vertical line splitting the area in half
+  kMeanOfMaximum,      ///< mean of the y values attaining the maximum grade
+  kSmallestOfMaximum,  ///< smallest y attaining the maximum grade
+  kLargestOfMaximum,   ///< largest y attaining the maximum grade
+  kWeightedAverage,    ///< activation-weighted average of term core centers
+};
+
+/// Parse/format helpers (used by benches and the CLI of examples).
+const char* to_string(DefuzzMethod m) noexcept;
+DefuzzMethod defuzz_method_from_string(std::string_view name);
+
+/// Numeric defuzzifier over a bounded output universe.
+///
+/// All integral methods sample the aggregated membership on a uniform grid
+/// of `resolution` points across the output variable's universe; 512 points
+/// give < 1e-3 absolute error for the paper's piecewise-linear sets.
+class Defuzzifier {
+ public:
+  explicit Defuzzifier(DefuzzMethod method = DefuzzMethod::kCentroid,
+                       int resolution = 512, SNorm aggregation = SNorm::kMaximum);
+
+  /// Crisp output for the aggregated set.  When no rule fired (empty set)
+  /// returns the midpoint of the universe — a neutral value; FACS-P's rule
+  /// bases are complete so this only happens for out-of-universe abuse.
+  double defuzzify(const OutputFuzzySet& set,
+                   const LinguisticVariable& output) const;
+
+  DefuzzMethod method() const noexcept { return method_; }
+  int resolution() const noexcept { return resolution_; }
+
+ private:
+  double centroid(const OutputFuzzySet& set,
+                  const LinguisticVariable& output) const;
+  double bisector(const OutputFuzzySet& set,
+                  const LinguisticVariable& output) const;
+  double of_maximum(const OutputFuzzySet& set,
+                    const LinguisticVariable& output) const;
+  double weighted_average(const OutputFuzzySet& set,
+                          const LinguisticVariable& output) const;
+
+  DefuzzMethod method_;
+  int resolution_;
+  SNorm aggregation_;
+};
+
+}  // namespace facsp::fuzzy

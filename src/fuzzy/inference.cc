@@ -1,0 +1,124 @@
+#include "fuzzy/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.h"
+
+namespace facsp::fuzzy {
+
+namespace {
+
+double apply_snorm(SNorm s, double a, double b) noexcept {
+  switch (s) {
+    case SNorm::kMaximum:
+      return std::max(a, b);
+    case SNorm::kProbabilisticSum:
+      return a + b - a * b;
+    case SNorm::kBoundedSum:
+      return std::min(1.0, a + b);
+  }
+  return std::max(a, b);  // unreachable
+}
+
+double apply_implication(Implication impl, double activation,
+                         double term_grade) noexcept {
+  switch (impl) {
+    case Implication::kMinimum:
+      return std::min(activation, term_grade);
+    case Implication::kProduct:
+      return activation * term_grade;
+  }
+  return std::min(activation, term_grade);  // unreachable
+}
+
+}  // namespace
+
+double OutputFuzzySet::grade(const LinguisticVariable& output, double y,
+                             SNorm s_norm) const {
+  FACSP_EXPECTS(activations.size() == output.term_count());
+  double acc = 0.0;
+  for (std::size_t k = 0; k < activations.size(); ++k) {
+    if (activations[k] <= 0.0) continue;
+    const double g =
+        apply_implication(implication, activations[k], output.term(k).mf.grade(y));
+    acc = apply_snorm(s_norm, acc, g);
+  }
+  return acc;
+}
+
+bool OutputFuzzySet::empty() const noexcept {
+  return std::all_of(activations.begin(), activations.end(),
+                     [](double a) { return a <= 0.0; });
+}
+
+double OutputFuzzySet::height() const noexcept {
+  double h = 0.0;
+  for (double a : activations) h = std::max(h, a);
+  return h;
+}
+
+InferenceEngine::InferenceEngine(const std::vector<LinguisticVariable>& inputs,
+                                 const LinguisticVariable& output,
+                                 const RuleBase& rules,
+                                 InferenceOptions options)
+    : inputs_(inputs), output_(output), rules_(rules), options_(options) {
+  FACSP_EXPECTS(!inputs_.empty());
+  FACSP_EXPECTS(rules_.input_count() == inputs_.size());
+  FACSP_EXPECTS(rules_.output_term_count() == output_.term_count());
+}
+
+double InferenceEngine::combine_and(double a, double b) const noexcept {
+  return options_.t_norm == TNorm::kMinimum ? std::min(a, b) : a * b;
+}
+
+double InferenceEngine::combine_or(double a, double b) const noexcept {
+  return apply_snorm(options_.s_norm, a, b);
+}
+
+OutputFuzzySet InferenceEngine::infer(
+    std::span<const double> crisp_inputs) const {
+  std::vector<FiredRule> scratch;
+  return infer_traced(crisp_inputs, scratch);
+}
+
+OutputFuzzySet InferenceEngine::infer_traced(
+    std::span<const double> crisp_inputs, std::vector<FiredRule>& fired) const {
+  FACSP_EXPECTS_MSG(crisp_inputs.size() == inputs_.size(),
+                    "expected " << inputs_.size() << " inputs, got "
+                                << crisp_inputs.size());
+  fired.clear();
+
+  // Fuzzify every input once; rules then look grades up by index.
+  std::vector<std::vector<double>> grades(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i)
+    grades[i] = inputs_[i].fuzzify(crisp_inputs[i]);
+
+  OutputFuzzySet out;
+  out.implication = options_.implication;
+  out.activations.assign(output_.term_count(), 0.0);
+
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const FuzzyRule& rule = rules_.rule(r);
+    double strength = 1.0;
+    for (std::size_t i = 0; i < rule.antecedents.size() && strength > 0.0;
+         ++i) {
+      const std::size_t a = rule.antecedents[i];
+      if (a == FuzzyRule::kAny) continue;
+      strength = combine_and(strength, grades[i][a]);
+    }
+    strength *= rule.weight;
+    if (strength <= 0.0) continue;
+    fired.push_back({r, strength});
+    out.activations[rule.consequent] =
+        combine_or(out.activations[rule.consequent], strength);
+  }
+
+  std::sort(fired.begin(), fired.end(),
+            [](const FiredRule& a, const FiredRule& b) {
+              return a.strength > b.strength;
+            });
+  return out;
+}
+
+}  // namespace facsp::fuzzy

@@ -1,0 +1,102 @@
+// Mamdani-style fuzzy inference.
+//
+// Pipeline (paper Fig. 2): fuzzifier -> inference engine (+FRB) -> defuzzifier.
+// This header implements the middle stage: given crisp inputs, compute each
+// rule's firing strength with a t-norm over antecedent grades, apply the
+// implication operator to the consequent set, and aggregate per output term
+// with an s-norm.  The result is an OutputFuzzySet — the activation level of
+// every output term — which the defuzzifier turns into a crisp value.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fuzzy/rulebase.h"
+#include "fuzzy/variable.h"
+
+namespace facsp::fuzzy {
+
+/// Triangular norm used to combine antecedent grades (AND semantics).
+enum class TNorm {
+  kMinimum,  ///< Zadeh AND: min(a, b) — the paper's choice
+  kProduct,  ///< probabilistic AND: a*b
+};
+
+/// Triangular co-norm used to aggregate activations of the same output term.
+enum class SNorm {
+  kMaximum,          ///< Zadeh OR: max(a, b) — the paper's choice
+  kProbabilisticSum, ///< a + b - a*b
+  kBoundedSum,       ///< min(1, a + b)
+};
+
+/// Implication operator clipping/scaling the consequent set.
+enum class Implication {
+  kMinimum,  ///< clip consequent at firing strength (Mamdani) — paper
+  kProduct,  ///< scale consequent by firing strength (Larsen)
+};
+
+/// Knobs for the inference engine; defaults are the paper's configuration.
+struct InferenceOptions {
+  TNorm t_norm = TNorm::kMinimum;
+  SNorm s_norm = SNorm::kMaximum;
+  Implication implication = Implication::kMinimum;
+};
+
+/// Aggregated inference result: one activation level per output term.
+///
+/// The aggregated output membership is
+///   mu_out(y) = s_norm over terms k of impl(activation[k], mu_k(y)).
+struct OutputFuzzySet {
+  std::vector<double> activations;  ///< indexed by output term
+  Implication implication = Implication::kMinimum;
+
+  /// Aggregated membership at y given the output variable's term shapes.
+  double grade(const LinguisticVariable& output, double y,
+               SNorm s_norm = SNorm::kMaximum) const;
+
+  /// True when no rule fired (all activations zero).
+  bool empty() const noexcept;
+
+  /// Highest activation across terms.
+  double height() const noexcept;
+};
+
+/// Per-rule firing record, for explanation/tracing (rule_explorer example).
+struct FiredRule {
+  std::size_t rule_index = 0;
+  double strength = 0.0;  ///< t-norm of antecedent grades times rule weight
+};
+
+/// Stateless Mamdani inference engine over a fixed (inputs, output, rules)
+/// triple.  Thread-safe: evaluation does not mutate the engine.
+class InferenceEngine {
+ public:
+  /// The referenced variables and rule base must outlive the engine; the
+  /// FuzzyController owns all of them and the engine internally.
+  InferenceEngine(const std::vector<LinguisticVariable>& inputs,
+                  const LinguisticVariable& output, const RuleBase& rules,
+                  InferenceOptions options = {});
+
+  /// Run fuzzification + rule evaluation + aggregation for the crisp input
+  /// vector (one value per input variable, clamped to each universe).
+  /// Precondition: crisp_inputs.size() == number of input variables.
+  OutputFuzzySet infer(std::span<const double> crisp_inputs) const;
+
+  /// As infer(), but also reports every rule with non-zero firing strength
+  /// (descending by strength).
+  OutputFuzzySet infer_traced(std::span<const double> crisp_inputs,
+                              std::vector<FiredRule>& fired) const;
+
+  const InferenceOptions& options() const noexcept { return options_; }
+
+ private:
+  double combine_and(double a, double b) const noexcept;
+  double combine_or(double a, double b) const noexcept;
+
+  const std::vector<LinguisticVariable>& inputs_;
+  const LinguisticVariable& output_;
+  const RuleBase& rules_;
+  InferenceOptions options_;
+};
+
+}  // namespace facsp::fuzzy

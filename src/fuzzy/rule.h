@@ -1,0 +1,38 @@
+// Fuzzy IF-THEN rules.
+//
+// A rule pairs one antecedent term index per input variable (or kAny as a
+// wildcard) with a consequent term index on the output variable, e.g. paper
+// Table 1 rule 0:  IF Sp is Sl AND An is B1 AND Sr is Sm THEN Cv is Cv1.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace facsp::fuzzy {
+
+class LinguisticVariable;
+
+/// One conjunctive (AND) fuzzy rule.
+struct FuzzyRule {
+  /// Wildcard antecedent: the input variable does not constrain this rule.
+  static constexpr std::size_t kAny = std::numeric_limits<std::size_t>::max();
+
+  /// Term index into the i-th input variable's term list, or kAny.
+  std::vector<std::size_t> antecedents;
+  /// Term index into the output variable's term list.
+  std::size_t consequent = 0;
+  /// Rule weight in (0, 1]; scales the firing strength (1.0 = paper default).
+  double weight = 1.0;
+
+  friend bool operator==(const FuzzyRule&, const FuzzyRule&) = default;
+};
+
+/// Render a rule as "IF Sp is Sl AND An is B1 AND Sr is Sm THEN Cv is Cv1".
+/// `inputs` and `output` supply the variable/term names.
+std::string to_string(const FuzzyRule& rule,
+                      const std::vector<LinguisticVariable>& inputs,
+                      const LinguisticVariable& output);
+
+}  // namespace facsp::fuzzy

@@ -1,0 +1,170 @@
+#include "fuzzy/rule_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace facsp::fuzzy {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::string to_upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back({cur});
+      cur.clear();
+    }
+  };
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (c == '[' || c == ']') {
+      flush();
+      out.push_back({std::string(1, c)});
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+bool is_keyword(const Token& t, const char* kw) {
+  return to_upper(t.text) == kw;
+}
+
+}  // namespace
+
+FuzzyRule parse_rule(const std::string& text,
+                     const std::vector<LinguisticVariable>& inputs,
+                     const LinguisticVariable& output) {
+  const auto tokens = tokenize(text);
+  std::size_t pos = 0;
+  auto need = [&](const char* what) -> const Token& {
+    if (pos >= tokens.size())
+      throw ParseError("rule '" + text + "': expected " + what +
+                       " but input ended");
+    return tokens[pos];
+  };
+
+  if (!is_keyword(need("IF"), "IF"))
+    throw ParseError("rule '" + text + "': must start with IF");
+  ++pos;
+
+  FuzzyRule rule;
+  rule.antecedents.assign(inputs.size(), FuzzyRule::kAny);
+  bool then_seen = false;
+
+  while (!then_seen) {
+    const std::string var = need("variable name").text;
+    ++pos;
+    if (!is_keyword(need("'is'"), "IS"))
+      throw ParseError("rule '" + text + "': expected 'is' after '" + var +
+                       "'");
+    ++pos;
+    const std::string term = need("term name").text;
+    ++pos;
+
+    // Bind the clause to an input or detect it is a stray output clause.
+    bool bound = false;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i].name() == var) {
+        if (rule.antecedents[i] != FuzzyRule::kAny)
+          throw ParseError("rule '" + text + "': variable '" + var +
+                           "' constrained twice");
+        rule.antecedents[i] = (term == "*")
+                                  ? FuzzyRule::kAny
+                                  : inputs[i].term_index(term);
+        bound = true;
+        break;
+      }
+    }
+    if (!bound)
+      throw ConfigError("rule '" + text + "': unknown input variable '" + var +
+                        "'");
+
+    if (pos >= tokens.size())
+      throw ParseError("rule '" + text + "': missing THEN clause");
+    if (is_keyword(tokens[pos], "AND")) {
+      ++pos;
+    } else if (is_keyword(tokens[pos], "THEN")) {
+      ++pos;
+      then_seen = true;
+    } else {
+      throw ParseError("rule '" + text + "': expected AND or THEN, got '" +
+                       tokens[pos].text + "'");
+    }
+  }
+
+  const std::string out_var = need("output variable").text;
+  ++pos;
+  if (out_var != output.name())
+    throw ConfigError("rule '" + text + "': consequent variable '" + out_var +
+                      "' is not the output '" + output.name() + "'");
+  if (!is_keyword(need("'is'"), "IS"))
+    throw ParseError("rule '" + text + "': expected 'is' in consequent");
+  ++pos;
+  rule.consequent = output.term_index(need("output term").text);
+  ++pos;
+
+  if (pos < tokens.size() && tokens[pos].text == "[") {
+    ++pos;
+    const std::string w = need("weight").text;
+    ++pos;
+    try {
+      rule.weight = std::stod(w);
+    } catch (const std::exception&) {
+      throw ParseError("rule '" + text + "': bad weight '" + w + "'");
+    }
+    if (pos >= tokens.size() || tokens[pos].text != "]")
+      throw ParseError("rule '" + text + "': missing ']' after weight");
+    ++pos;
+  }
+  if (pos != tokens.size())
+    throw ParseError("rule '" + text + "': trailing tokens after rule");
+  return rule;
+}
+
+std::vector<FuzzyRule> parse_rules(const std::string& text,
+                                   const std::vector<LinguisticVariable>& inputs,
+                                   const LinguisticVariable& output) {
+  std::vector<FuzzyRule> rules;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const bool blank = std::all_of(line.begin(), line.end(), [](unsigned char c) {
+      return std::isspace(c);
+    });
+    if (blank) continue;
+    try {
+      rules.push_back(parse_rule(line, inputs, output));
+    } catch (const ParseError& e) {
+      throw ParseError(e.what(), lineno);
+    } catch (const ConfigError& e) {
+      // Semantic errors (unknown variable/term) also carry line context
+      // when parsing a file.
+      throw ParseError(e.what(), lineno);
+    }
+  }
+  return rules;
+}
+
+}  // namespace facsp::fuzzy

@@ -1,0 +1,33 @@
+// Textual fuzzy rule parser.
+//
+// Grammar (case-sensitive identifiers, case-insensitive keywords):
+//   rule    := "IF" clause ("AND" clause)* "THEN" clause weight?
+//   clause  := ident "is" ident
+//   weight  := "[" float "]"
+//
+// Variables may appear in any order and may be omitted (omitted -> wildcard).
+// Example: "IF Sp is Sl AND Sr is Sm THEN Cv is Cv1 [0.8]".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzzy/rule.h"
+#include "fuzzy/variable.h"
+
+namespace facsp::fuzzy {
+
+/// Parse one rule against the declared variables.
+/// Throws facsp::ParseError on syntax errors and facsp::ConfigError on
+/// unknown variable/term names.
+FuzzyRule parse_rule(const std::string& text,
+                     const std::vector<LinguisticVariable>& inputs,
+                     const LinguisticVariable& output);
+
+/// Parse a rule file: one rule per line; blank lines and '#' comments are
+/// skipped.  Errors carry 1-based line numbers.
+std::vector<FuzzyRule> parse_rules(const std::string& text,
+                                   const std::vector<LinguisticVariable>& inputs,
+                                   const LinguisticVariable& output);
+
+}  // namespace facsp::fuzzy

@@ -1,0 +1,68 @@
+// Fuzzy Rule Base (FRB): the validated rule set of one controller.
+//
+// Paper Sec. 3.1: "The FRB forms a fuzzy set of dimensions
+// |T(Sp)| x |T(An)| x |T(Sr)|" — i.e. a complete table with one rule per
+// combination of input terms.  RuleBase supports both complete tabular rule
+// bases (FRB1: 63 rules, FRB2: 27 rules) and sparse ones, and can check
+// completeness and detect conflicting duplicates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fuzzy/rule.h"
+#include "fuzzy/variable.h"
+
+namespace facsp::fuzzy {
+
+/// Immutable, validated collection of fuzzy rules tied to a fixed set of
+/// input variables and one output variable (held by the controller; the rule
+/// base stores only shapes and indices).
+class RuleBase {
+ public:
+  /// Validates every rule against the given variables:
+  ///  - antecedent arity must equal inputs.size(),
+  ///  - every non-wildcard antecedent index must be in range,
+  ///  - consequent index must be in range,
+  ///  - weight must be in (0, 1].
+  /// Throws facsp::ConfigError on violation.
+  RuleBase(std::vector<FuzzyRule> rules,
+           const std::vector<LinguisticVariable>& inputs,
+           const LinguisticVariable& output);
+
+  std::size_t size() const noexcept { return rules_.size(); }
+  bool empty() const noexcept { return rules_.empty(); }
+  const FuzzyRule& rule(std::size_t i) const;
+  const std::vector<FuzzyRule>& rules() const noexcept { return rules_; }
+
+  std::size_t input_count() const noexcept { return input_term_counts_.size(); }
+  std::size_t output_term_count() const noexcept { return output_term_count_; }
+
+  /// True when every combination of input terms is matched by at least one
+  /// rule (wildcards match everything).  FRB1 and FRB2 are complete.
+  bool is_complete() const;
+
+  /// Indices of rule pairs with identical (after wildcard expansion —
+  /// compared structurally, not expanded) antecedents but different
+  /// consequents.  An empty result means the rule base is conflict-free.
+  std::vector<std::pair<std::size_t, std::size_t>> conflicts() const;
+
+  /// Number of distinct input-term combinations (product of term counts).
+  std::size_t combination_count() const noexcept;
+
+  /// Build a complete tabular rule base from a flat consequent table laid out
+  /// with the *last* input varying fastest (exactly the row order of the
+  /// paper's Table 1/Table 2).  `consequent_names` has
+  /// combination_count() entries, each naming a term of `output`.
+  static RuleBase from_table(const std::vector<LinguisticVariable>& inputs,
+                             const LinguisticVariable& output,
+                             const std::vector<std::string>& consequent_names);
+
+ private:
+  std::vector<FuzzyRule> rules_;
+  std::vector<std::size_t> input_term_counts_;
+  std::size_t output_term_count_;
+};
+
+}  // namespace facsp::fuzzy

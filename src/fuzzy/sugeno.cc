@@ -1,0 +1,86 @@
+#include "fuzzy/sugeno.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/expects.h"
+#include "common/math_util.h"
+
+namespace facsp::fuzzy {
+
+SugenoController::SugenoController(std::string name,
+                                   std::vector<LinguisticVariable> inputs,
+                                   std::vector<SugenoRule> rules, TNorm t_norm)
+    : name_(std::move(name)),
+      inputs_(std::move(inputs)),
+      rules_(std::move(rules)),
+      t_norm_(t_norm) {
+  if (inputs_.empty())
+    throw ConfigError("sugeno '" + name_ + "': needs at least one input");
+  if (rules_.empty())
+    throw ConfigError("sugeno '" + name_ + "': needs at least one rule");
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    const auto& rule = rules_[r];
+    if (rule.antecedents.size() != inputs_.size())
+      throw ConfigError("sugeno '" + name_ + "': rule " + std::to_string(r) +
+                        " arity mismatch");
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      const auto a = rule.antecedents[i];
+      if (a != SugenoRule::kAny && a >= inputs_[i].term_count())
+        throw ConfigError("sugeno '" + name_ + "': rule " +
+                          std::to_string(r) + " term index out of range");
+    }
+    if (!rule.coefficients.empty() &&
+        rule.coefficients.size() != inputs_.size())
+      throw ConfigError("sugeno '" + name_ + "': rule " + std::to_string(r) +
+                        " must have one coefficient per input (or none)");
+    if (!(rule.weight > 0.0 && rule.weight <= 1.0))
+      throw ConfigError("sugeno '" + name_ + "': rule " + std::to_string(r) +
+                        " weight must be in (0, 1]");
+  }
+}
+
+const LinguisticVariable& SugenoController::input(std::size_t i) const {
+  FACSP_EXPECTS(i < inputs_.size());
+  return inputs_[i];
+}
+
+double SugenoController::evaluate(std::span<const double> crisp_inputs) const {
+  FACSP_EXPECTS_MSG(crisp_inputs.size() == inputs_.size(),
+                    "sugeno '" << name_ << "': expected " << inputs_.size()
+                               << " inputs, got " << crisp_inputs.size());
+  std::vector<double> x(inputs_.size());
+  std::vector<std::vector<double>> grades(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    x[i] = clamp(crisp_inputs[i], inputs_[i].universe_lo(),
+                 inputs_[i].universe_hi());
+    grades[i] = inputs_[i].fuzzify(x[i]);
+  }
+
+  double num = 0.0, den = 0.0;
+  for (const auto& rule : rules_) {
+    double w = 1.0;
+    for (std::size_t i = 0; i < inputs_.size() && w > 0.0; ++i) {
+      const auto a = rule.antecedents[i];
+      if (a == SugenoRule::kAny) continue;
+      const double g = grades[i][a];
+      w = t_norm_ == TNorm::kMinimum ? std::min(w, g) : w * g;
+    }
+    w *= rule.weight;
+    if (w <= 0.0) continue;
+    double z = rule.constant;
+    for (std::size_t i = 0; i < rule.coefficients.size(); ++i)
+      z += rule.coefficients[i] * x[i];
+    num += w * z;
+    den += w;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double SugenoController::evaluate(
+    std::initializer_list<double> crisp_inputs) const {
+  return evaluate(
+      std::span<const double>(crisp_inputs.begin(), crisp_inputs.size()));
+}
+
+}  // namespace facsp::fuzzy

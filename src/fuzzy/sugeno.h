@@ -1,0 +1,64 @@
+// Takagi-Sugeno(-Kang) inference — an extension beyond the paper.
+//
+// Where the Mamdani pipeline clips output *fuzzy sets* and defuzzifies,
+// a Sugeno rule's consequent is a crisp function of the inputs
+// (zero-order: a constant; first-order: affine), and the controller output
+// is the firing-strength-weighted average of rule outputs:
+//
+//     y = sum_i w_i * z_i(x) / sum_i w_i.
+//
+// Sugeno controllers are cheaper (no output integration) and are the
+// common choice when CAC decisions must run per-packet; bench users can
+// compare against the paper's Mamdani FLCs via make_sugeno_flc2().
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzzy/inference.h"  // TNorm
+#include "fuzzy/rule.h"
+#include "fuzzy/variable.h"
+
+namespace facsp::fuzzy {
+
+/// One Sugeno rule: conjunctive antecedents over the input variables and
+/// an affine consequent z(x) = constant + sum_j coefficients[j] * x_j.
+struct SugenoRule {
+  std::vector<std::size_t> antecedents;  ///< term index per input, or kAny
+  double constant = 0.0;
+  /// Empty for zero-order rules; else one coefficient per input variable.
+  std::vector<double> coefficients;
+  double weight = 1.0;
+
+  static constexpr std::size_t kAny = FuzzyRule::kAny;
+};
+
+/// Crisp-in / crisp-out Sugeno controller.
+class SugenoController {
+ public:
+  /// Validates rules against the input variables (same rules as RuleBase:
+  /// arity, term indices, weight in (0,1]; coefficients empty or one per
+  /// input).  Throws facsp::ConfigError.
+  SugenoController(std::string name, std::vector<LinguisticVariable> inputs,
+                   std::vector<SugenoRule> rules, TNorm t_norm = TNorm::kProduct);
+
+  /// Weighted-average output; inputs clamped to their universes.  When no
+  /// rule fires, returns 0 (the natural neutral of a weighted average).
+  double evaluate(std::span<const double> crisp_inputs) const;
+  double evaluate(std::initializer_list<double> crisp_inputs) const;
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t input_count() const noexcept { return inputs_.size(); }
+  const LinguisticVariable& input(std::size_t i) const;
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<LinguisticVariable> inputs_;
+  std::vector<SugenoRule> rules_;
+  TNorm t_norm_;
+};
+
+}  // namespace facsp::fuzzy

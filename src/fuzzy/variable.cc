@@ -1,0 +1,89 @@
+#include "fuzzy/variable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/expects.h"
+#include "common/math_util.h"
+
+namespace facsp::fuzzy {
+
+LinguisticVariable::LinguisticVariable(std::string name, double universe_lo,
+                                       double universe_hi,
+                                       std::vector<LinguisticTerm> terms)
+    : name_(std::move(name)),
+      lo_(universe_lo),
+      hi_(universe_hi),
+      terms_(std::move(terms)) {
+  if (name_.empty())
+    throw ConfigError("linguistic variable: name must not be empty");
+  if (!std::isfinite(lo_) || !std::isfinite(hi_) || lo_ >= hi_)
+    throw ConfigError("linguistic variable '" + name_ +
+                      "': universe must be a finite interval with lo < hi");
+  if (terms_.empty())
+    throw ConfigError("linguistic variable '" + name_ +
+                      "': must have at least one term");
+  std::unordered_set<std::string_view> seen;
+  for (const auto& t : terms_) {
+    if (t.name.empty())
+      throw ConfigError("linguistic variable '" + name_ +
+                        "': term names must not be empty");
+    if (!seen.insert(t.name).second)
+      throw ConfigError("linguistic variable '" + name_ +
+                        "': duplicate term name '" + t.name + "'");
+  }
+}
+
+const LinguisticTerm& LinguisticVariable::term(std::size_t i) const {
+  FACSP_EXPECTS_MSG(i < terms_.size(), "variable '" << name_ << "', term index "
+                                                    << i << " out of range");
+  return terms_[i];
+}
+
+std::size_t LinguisticVariable::term_index(std::string_view term_name) const {
+  for (std::size_t i = 0; i < terms_.size(); ++i)
+    if (terms_[i].name == term_name) return i;
+  throw ConfigError("linguistic variable '" + name_ + "': no term named '" +
+                    std::string(term_name) + "'");
+}
+
+bool LinguisticVariable::has_term(std::string_view term_name) const noexcept {
+  return std::any_of(terms_.begin(), terms_.end(),
+                     [&](const LinguisticTerm& t) { return t.name == term_name; });
+}
+
+std::vector<double> LinguisticVariable::fuzzify(double x) const {
+  const double cx = clamp(x, lo_, hi_);
+  std::vector<double> grades(terms_.size());
+  for (std::size_t i = 0; i < terms_.size(); ++i)
+    grades[i] = terms_[i].mf.grade(cx);
+  return grades;
+}
+
+double LinguisticVariable::grade(std::size_t term, double x) const {
+  FACSP_EXPECTS(term < terms_.size());
+  return terms_[term].mf.grade(clamp(x, lo_, hi_));
+}
+
+std::size_t LinguisticVariable::best_term(double x) const {
+  const auto grades = fuzzify(x);
+  return static_cast<std::size_t>(
+      std::distance(grades.begin(),
+                    std::max_element(grades.begin(), grades.end())));
+}
+
+bool LinguisticVariable::covers_universe(double min_grade, int samples) const {
+  FACSP_EXPECTS(samples >= 2);
+  for (int i = 0; i < samples; ++i) {
+    const double x =
+        lo_ + (hi_ - lo_) * static_cast<double>(i) / (samples - 1);
+    double best = 0.0;
+    for (const auto& t : terms_) best = std::max(best, t.mf.grade(x));
+    if (best < min_grade) return false;
+  }
+  return true;
+}
+
+}  // namespace facsp::fuzzy

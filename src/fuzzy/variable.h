@@ -1,0 +1,67 @@
+// Linguistic variables: a named universe of discourse plus an ordered set of
+// named linguistic terms, each with a membership function.
+//
+// Example (paper Sec. 3.1):  T(Sp) = {Slow, Middle, Fast} over [0, 120] km/h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzzy/membership.h"
+
+namespace facsp::fuzzy {
+
+/// One named fuzzy set of a linguistic variable (e.g. "Slow" for speed).
+struct LinguisticTerm {
+  std::string name;        ///< unique within its variable, e.g. "Sl"
+  MembershipFunction mf;   ///< membership function over the variable universe
+};
+
+/// A named linguistic variable with a bounded universe of discourse and an
+/// ordered list of terms.  Immutable after construction; validates that term
+/// names are unique and non-empty and that the universe is a proper interval.
+class LinguisticVariable {
+ public:
+  /// Throws facsp::ConfigError on: empty name, lo >= hi, no terms, duplicate
+  /// or empty term names.
+  LinguisticVariable(std::string name, double universe_lo, double universe_hi,
+                     std::vector<LinguisticTerm> terms);
+
+  const std::string& name() const noexcept { return name_; }
+  double universe_lo() const noexcept { return lo_; }
+  double universe_hi() const noexcept { return hi_; }
+
+  std::size_t term_count() const noexcept { return terms_.size(); }
+  const LinguisticTerm& term(std::size_t i) const;
+  const std::vector<LinguisticTerm>& terms() const noexcept { return terms_; }
+
+  /// Index of the term with the given name; throws ConfigError if absent.
+  std::size_t term_index(std::string_view term_name) const;
+
+  /// True if a term with that name exists.
+  bool has_term(std::string_view term_name) const noexcept;
+
+  /// Membership grades of every term at x (the "fuzzification" of x).
+  /// x is clamped to the universe first — simulation inputs occasionally sit
+  /// an ULP outside due to floating point, and the paper's universes are hard
+  /// physical bounds anyway.
+  std::vector<double> fuzzify(double x) const;
+
+  /// Grade of a single term at x (x clamped to the universe).
+  double grade(std::size_t term, double x) const;
+
+  /// Index of the term with the highest grade at x (ties -> lowest index).
+  std::size_t best_term(double x) const;
+
+  /// True when every x in the universe has at least one term with grade >=
+  /// min_grade (sampled check, `samples` points).  Useful as a design-time
+  /// sanity check that rules can always fire.
+  bool covers_universe(double min_grade = 1e-9, int samples = 2048) const;
+
+ private:
+  std::string name_;
+  double lo_, hi_;
+  std::vector<LinguisticTerm> terms_;
+};
+
+}  // namespace facsp::fuzzy

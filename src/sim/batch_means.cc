@@ -1,0 +1,21 @@
+#include "sim/batch_means.h"
+
+#include "common/error.h"
+
+namespace facsp::sim {
+
+BatchMeans::BatchMeans(std::size_t batch_size) : batch_size_(batch_size) {
+  if (batch_size == 0)
+    throw ConfigError("batch means: batch size must be >= 1");
+}
+
+void BatchMeans::add(double x) {
+  pending_sum_ += x;
+  if (++pending_n_ == batch_size_) {
+    batches_.add(pending_sum_ / static_cast<double>(batch_size_));
+    pending_n_ = 0;
+    pending_sum_ = 0.0;
+  }
+}
+
+}  // namespace facsp::sim

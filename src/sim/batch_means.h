@@ -1,0 +1,48 @@
+// Batch-means output analysis for autocorrelated streams.
+//
+// Within one simulation run, successive observations (e.g. per-decision
+// scores, per-interval occupancy) are correlated, so the plain SummaryStats
+// CI is too narrow.  Batch means groups consecutive observations into
+// fixed-size batches; the batch averages are approximately independent and
+// their Student-t interval is honest.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/stats.h"
+
+namespace facsp::sim {
+
+/// Streaming batch-means accumulator.
+class BatchMeans {
+ public:
+  /// batch_size: observations per batch (>= 1).  Throws
+  /// facsp::ConfigError on 0.
+  explicit BatchMeans(std::size_t batch_size);
+
+  void add(double x);
+
+  std::size_t batch_size() const noexcept { return batch_size_; }
+  /// Number of *completed* batches.
+  std::size_t batch_count() const noexcept { return batches_.count(); }
+  /// Observations in the current (incomplete) batch.
+  std::size_t pending() const noexcept { return pending_n_; }
+
+  /// Mean over completed batches (unbiased for the stream mean).
+  double mean() const noexcept { return batches_.mean(); }
+  /// CI half-width over batch means; 0 with fewer than 2 batches.
+  double ci_half_width(double level = 0.95) const {
+    return batches_.ci_half_width(level);
+  }
+
+  /// The underlying per-batch statistics.
+  const SummaryStats& batch_stats() const noexcept { return batches_; }
+
+ private:
+  std::size_t batch_size_;
+  std::size_t pending_n_ = 0;
+  double pending_sum_ = 0.0;
+  SummaryStats batches_;
+};
+
+}  // namespace facsp::sim

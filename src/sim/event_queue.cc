@@ -1,0 +1,60 @@
+#include "sim/event_queue.h"
+
+#include <cmath>
+
+#include "common/expects.h"
+
+namespace facsp::sim {
+
+EventHandle EventQueue::schedule(SimTime when, Action action) {
+  FACSP_EXPECTS_MSG(std::isfinite(when), "event time must be finite, got "
+                                             << when);
+  FACSP_EXPECTS(static_cast<bool>(action));
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_;
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  const auto it = actions_.find(h.id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);  // heap entry becomes a tombstone, skimmed lazily
+  --live_;
+  return true;
+}
+
+void EventQueue::skim() const {
+  // heap_ is mutable: dropping tombstones does not change the observable
+  // queue contents.
+  while (!heap_.empty() && !actions_.contains(heap_.top().id)) heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  FACSP_EXPECTS_MSG(!empty(), "next_time() on an empty event queue");
+  skim();
+  return heap_.top().when;
+}
+
+SimTime EventQueue::run_next() {
+  FACSP_EXPECTS_MSG(!empty(), "run_next() on an empty event queue");
+  skim();
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(e.id);
+  FACSP_ENSURES(it != actions_.end());
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  --live_;
+  action();
+  return e.when;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  actions_.clear();
+  live_ = 0;
+}
+
+}  // namespace facsp::sim

@@ -1,0 +1,77 @@
+#include "sim/rng.h"
+
+#include <vector>
+
+#include "common/expects.h"
+
+namespace facsp::sim {
+
+double RandomStream::uniform(double lo, double hi) {
+  FACSP_EXPECTS(lo <= hi);
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t RandomStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FACSP_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double RandomStream::exponential(double mean) {
+  FACSP_EXPECTS(mean > 0.0);
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double RandomStream::normal(double mean, double stddev) {
+  FACSP_EXPECTS(stddev >= 0.0);
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool RandomStream::bernoulli(double p) {
+  FACSP_EXPECTS(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::size_t RandomStream::discrete(const std::vector<double>& weights) {
+  FACSP_EXPECTS(!weights.empty());
+  std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+  return d(engine_);
+}
+
+int RandomStream::poisson(double mean) {
+  FACSP_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  return std::poisson_distribution<int>(mean)(engine_);
+}
+
+std::uint64_t hash_seed(std::uint64_t seed, std::string_view name,
+                        std::uint64_t index) noexcept {
+  // FNV-1a over the seed bytes, the name, and the index bytes.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(seed, 8);
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  mix(index, 8);
+  // Avoid the degenerate all-zero seed for downstream engines.
+  return h == 0 ? 0x9e3779b97f4a7c15ull : h;
+}
+
+RandomStream RngFactory::stream(std::string_view name) const {
+  return RandomStream(hash_seed(master_seed_, name));
+}
+
+RandomStream RngFactory::stream(std::string_view name,
+                                std::uint64_t index) const {
+  return RandomStream(hash_seed(master_seed_, name, index + 1));
+}
+
+}  // namespace facsp::sim

@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+#include "common/expects.h"
+
+namespace facsp::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, EventQueue::Action action) {
+  FACSP_EXPECTS_MSG(when >= now_, "schedule_at(" << when
+                                                 << ") is in the past (now="
+                                                 << now_ << ")");
+  return queue_.schedule(when, std::move(action));
+}
+
+EventHandle Simulator::schedule_in(SimTime delay, EventQueue::Action action) {
+  FACSP_EXPECTS_MSG(delay >= 0.0, "negative delay " << delay);
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+std::uint64_t Simulator::run() {
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    now_ = queue_.next_time();  // clock advances before the action runs
+    last_event_ = now_;
+    queue_.run_next();
+    ++fired_;
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  FACSP_EXPECTS(horizon >= now_);
+  stop_requested_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stop_requested_ &&
+         queue_.next_time() <= horizon) {
+    now_ = queue_.next_time();
+    last_event_ = now_;
+    queue_.run_next();
+    ++fired_;
+    ++n;
+  }
+  if (!stop_requested_ && now_ < horizon) now_ = horizon;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  last_event_ = now_;
+  queue_.run_next();
+  ++fired_;
+  return true;
+}
+
+void Simulator::reset() {
+  queue_.clear();
+  now_ = 0.0;
+  last_event_ = 0.0;
+  stop_requested_ = false;
+}
+
+}  // namespace facsp::sim

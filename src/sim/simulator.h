@@ -1,0 +1,68 @@
+// Discrete-event simulator: a clock plus the pending-event set, with the
+// run-loop controls every experiment in this repository uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace facsp::sim {
+
+/// Sequential discrete-event simulator.
+///
+/// Usage:
+///   Simulator sim;
+///   sim.schedule_in(1.0, [&]{ ... sim.schedule_in(2.0, ...); });
+///   sim.run();                     // until no events remain
+///   sim.run_until(3600.0);         // or until a horizon
+class Simulator {
+ public:
+  /// Current simulation time (seconds since run start).
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule at an absolute time >= now().  Scheduling in the past throws.
+  EventHandle schedule_at(SimTime when, EventQueue::Action action);
+
+  /// Schedule `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, EventQueue::Action action);
+
+  /// Cancel a pending event; false if it already fired or was cancelled.
+  bool cancel(EventHandle h) { return queue_.cancel(h); }
+
+  /// Run until the event queue drains.  Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run events with timestamp <= horizon; the clock is left at
+  /// min(horizon, last event time).  Returns the number of events fired.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Fire exactly one event if any remains.  Returns true if one fired.
+  bool step();
+
+  /// Request that the current run() stops after the in-flight event returns.
+  void stop() noexcept { stop_requested_ = true; }
+
+  bool has_pending() const noexcept { return !queue_.empty(); }
+  std::size_t pending_count() const noexcept { return queue_.size(); }
+
+  /// Total events fired since construction.
+  std::uint64_t events_fired() const noexcept { return fired_; }
+
+  /// Timestamp of the most recently fired event (0 if none fired yet).
+  /// Unlike now(), this does not advance to the horizon when run_until()
+  /// drains early — use it to time-average over the active period.
+  SimTime last_event_time() const noexcept { return last_event_; }
+
+  /// Reset clock and queue (statistics keep their owner's lifetime).
+  void reset();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  SimTime last_event_ = 0.0;
+  std::uint64_t fired_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace facsp::sim

@@ -1,0 +1,156 @@
+#include "sim/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/expects.h"
+
+namespace facsp::sim {
+
+void Series::add(double x, double y) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+  cis_.push_back(std::nullopt);
+}
+
+void Series::add(double x, double y, double ci_half_width) {
+  xs_.push_back(x);
+  ys_.push_back(y);
+  cis_.push_back(ci_half_width);
+}
+
+double Series::x(std::size_t i) const {
+  FACSP_EXPECTS(i < xs_.size());
+  return xs_[i];
+}
+
+double Series::y(std::size_t i) const {
+  FACSP_EXPECTS(i < ys_.size());
+  return ys_[i];
+}
+
+std::optional<double> Series::ci(std::size_t i) const {
+  FACSP_EXPECTS(i < cis_.size());
+  return cis_[i];
+}
+
+double Series::y_at(double x_query) const {
+  FACSP_EXPECTS(!xs_.empty());
+  double best_x = -std::numeric_limits<double>::infinity();
+  double best_y = ys_.front();
+  bool found = false;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    if (xs_[i] <= x_query && xs_[i] > best_x) {
+      best_x = xs_[i];
+      best_y = ys_[i];
+      found = true;
+    }
+  }
+  return found ? best_y : ys_.front();
+}
+
+Figure::Figure(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)) {}
+
+Series& Figure::add_series(std::string name) {
+  series_.emplace_back(std::move(name));
+  return series_.back();
+}
+
+Series& Figure::series(std::size_t i) {
+  FACSP_EXPECTS(i < series_.size());
+  return series_[i];
+}
+
+const Series& Figure::series(std::size_t i) const {
+  FACSP_EXPECTS(i < series_.size());
+  return series_[i];
+}
+
+namespace {
+
+std::string format_cell(double y, std::optional<double> ci) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << y;
+  if (ci && *ci > 0.0) os << " ±" << std::setprecision(2) << *ci;
+  return os.str();
+}
+
+}  // namespace
+
+void Figure::print_table(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  os << "(y: " << y_label_ << ")\n";
+
+  // Union of x values across series -> ordered row keys.
+  std::map<double, std::vector<std::string>> rows;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    for (std::size_t i = 0; i < series_[s].size(); ++i) {
+      auto& cells = rows[series_[s].x(i)];
+      cells.resize(series_.size());
+      cells[s] = format_cell(series_[s].y(i), series_[s].ci(i));
+    }
+  }
+  for (auto& [x, cells] : rows) cells.resize(series_.size());
+
+  // Column widths.
+  std::vector<std::size_t> widths(series_.size() + 1);
+  widths[0] = x_label_.size();
+  for (const auto& [x, cells] : rows) {
+    std::ostringstream xs;
+    xs << x;
+    widths[0] = std::max(widths[0], xs.str().size());
+  }
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    widths[s + 1] = series_[s].name().size();
+    for (const auto& [x, cells] : rows)
+      widths[s + 1] = std::max(widths[s + 1],
+                               cells[s].empty() ? 1 : cells[s].size());
+  }
+
+  auto pad = [&os](const std::string& text, std::size_t w) {
+    os << std::setw(static_cast<int>(w) + 2) << text;
+  };
+  pad(x_label_, widths[0]);
+  for (std::size_t s = 0; s < series_.size(); ++s)
+    pad(series_[s].name(), widths[s + 1]);
+  os << '\n';
+  for (const auto& [x, cells] : rows) {
+    std::ostringstream xs;
+    xs << x;
+    pad(xs.str(), widths[0]);
+    for (std::size_t s = 0; s < series_.size(); ++s)
+      pad(cells[s].empty() ? "-" : cells[s], widths[s + 1]);
+    os << '\n';
+  }
+}
+
+void Figure::print_csv(std::ostream& os) const {
+  os << x_label_;
+  for (const auto& s : series_) os << ',' << s.name();
+  os << '\n';
+  std::map<double, std::vector<std::string>> rows;
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    for (std::size_t i = 0; i < series_[s].size(); ++i) {
+      auto& cells = rows[series_[s].x(i)];
+      cells.resize(series_.size());
+      std::ostringstream v;
+      v << series_[s].y(i);
+      cells[s] = v.str();
+    }
+  }
+  for (auto& [x, cells] : rows) {
+    cells.resize(series_.size());
+    os << x;
+    for (const auto& c : cells) os << ',' << c;
+    os << '\n';
+  }
+}
+
+}  // namespace facsp::sim

@@ -1,0 +1,62 @@
+// A labelled numeric series (x, y[, ci]) with CSV / aligned-table rendering.
+// Every bench uses this to print the paper's figures as rows.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace facsp::sim {
+
+/// One series of a figure: a name plus (x, y, optional ci-half-width) points.
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void add(double x, double y);
+  void add(double x, double y, double ci_half_width);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return xs_.size(); }
+  double x(std::size_t i) const;
+  double y(std::size_t i) const;
+  std::optional<double> ci(std::size_t i) const;
+
+  /// y value at the largest x <= query (steps); throws if empty.
+  double y_at(double x_query) const;
+
+ private:
+  std::string name_;
+  std::vector<double> xs_, ys_;
+  std::vector<std::optional<double>> cis_;
+};
+
+/// A figure: several series over a shared x axis, with titles, rendered as
+/// an aligned text table (one row per x, one column per series) or CSV.
+class Figure {
+ public:
+  Figure(std::string title, std::string x_label, std::string y_label);
+
+  /// Adds a series and returns a reference that stays valid across later
+  /// add_series calls (deque storage — no reallocation moves).
+  Series& add_series(std::string name);
+  const std::deque<Series>& series() const noexcept { return series_; }
+  Series& series(std::size_t i);
+  const Series& series(std::size_t i) const;
+  const std::string& title() const noexcept { return title_; }
+
+  /// Render as an aligned table.  Series need not share x grids; the union
+  /// of all x values becomes the row set and missing cells print "-".
+  void print_table(std::ostream& os) const;
+
+  /// Render as CSV: x,<series1>,<series2>,...
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::deque<Series> series_;
+};
+
+}  // namespace facsp::sim

@@ -1,0 +1,109 @@
+#include "cac/counters.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace facsp::cac {
+namespace {
+
+using cellular::ServiceClass;
+
+TEST(Counters, StartsEmpty) {
+  DifferentiatedCounters c;
+  EXPECT_DOUBLE_EQ(c.rt_bandwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(c.nrt_bandwidth(), 0.0);
+  EXPECT_EQ(c.rt_count(), 0u);
+  EXPECT_EQ(c.nrt_count(), 0u);
+  EXPECT_DOUBLE_EQ(c.effective_occupancy(), 0.0);
+}
+
+TEST(Counters, ClassifiesServicesIntoRtcNrtc) {
+  DifferentiatedCounters c;
+  c.add(1, ServiceClass::kText, 1.0, false);
+  c.add(2, ServiceClass::kVoice, 5.0, false);
+  c.add(3, ServiceClass::kVideo, 10.0, false);
+  EXPECT_DOUBLE_EQ(c.nrt_bandwidth(), 1.0);
+  EXPECT_DOUBLE_EQ(c.rt_bandwidth(), 15.0);
+  EXPECT_EQ(c.nrt_count(), 1u);
+  EXPECT_EQ(c.rt_count(), 2u);
+  EXPECT_DOUBLE_EQ(c.total_bandwidth(), 16.0);
+}
+
+TEST(Counters, EffectiveOccupancyAppliesWeights) {
+  PriorityWeights w;
+  w.real_time = 2.0;
+  w.non_real_time = 1.0;
+  w.handoff_bonus = 1.5;
+  DifferentiatedCounters c(w);
+  c.add(1, ServiceClass::kText, 1.0, false);    // 1.0
+  c.add(2, ServiceClass::kVoice, 5.0, false);   // 10.0
+  c.add(3, ServiceClass::kVideo, 10.0, true);   // 2.0 * 1.5 * 10 = 30.0
+  EXPECT_DOUBLE_EQ(c.effective_occupancy(), 41.0);
+}
+
+TEST(Counters, EffectiveAtLeastPhysicalWhenWeightsGeOne) {
+  DifferentiatedCounters c;  // defaults >= 1
+  c.add(1, ServiceClass::kVoice, 5.0, false);
+  c.add(2, ServiceClass::kText, 1.0, true);
+  EXPECT_GE(c.effective_occupancy(), c.total_bandwidth());
+}
+
+TEST(Counters, RemoveRestoresState) {
+  DifferentiatedCounters c;
+  c.add(1, ServiceClass::kVideo, 10.0, true);
+  c.add(2, ServiceClass::kText, 1.0, false);
+  c.remove(1);
+  EXPECT_DOUBLE_EQ(c.rt_bandwidth(), 0.0);
+  EXPECT_DOUBLE_EQ(c.nrt_bandwidth(), 1.0);
+  c.remove(2);
+  EXPECT_DOUBLE_EQ(c.effective_occupancy(), 0.0);
+  EXPECT_EQ(c.rt_count(), 0u);
+  EXPECT_EQ(c.nrt_count(), 0u);
+}
+
+TEST(Counters, RemoveUnknownIdIsIgnored) {
+  DifferentiatedCounters c;
+  c.add(1, ServiceClass::kText, 1.0, false);
+  EXPECT_NO_THROW(c.remove(999));
+  EXPECT_DOUBLE_EQ(c.total_bandwidth(), 1.0);
+}
+
+TEST(Counters, DoubleAddThrows) {
+  DifferentiatedCounters c;
+  c.add(1, ServiceClass::kText, 1.0, false);
+  EXPECT_THROW(c.add(1, ServiceClass::kText, 1.0, false),
+               facsp::ContractViolation);
+}
+
+TEST(Counters, ClearResets) {
+  DifferentiatedCounters c;
+  c.add(1, ServiceClass::kVideo, 10.0, true);
+  c.clear();
+  EXPECT_DOUBLE_EQ(c.effective_occupancy(), 0.0);
+  // Same id can be added again after clear.
+  EXPECT_NO_THROW(c.add(1, ServiceClass::kVideo, 10.0, false));
+}
+
+TEST(Counters, WeightsBelowOneRejected) {
+  PriorityWeights w;
+  w.real_time = 0.5;
+  EXPECT_THROW(DifferentiatedCounters{w}, facsp::ConfigError);
+  w = {};
+  w.handoff_bonus = 0.9;
+  EXPECT_THROW(DifferentiatedCounters{w}, facsp::ConfigError);
+}
+
+TEST(Counters, ChurnLeavesNoDrift) {
+  DifferentiatedCounters c;
+  for (int i = 0; i < 500; ++i) {
+    c.add(i, i % 2 ? ServiceClass::kVoice : ServiceClass::kText,
+          i % 2 ? 5.0 : 1.0, i % 3 == 0);
+  }
+  for (int i = 0; i < 500; ++i) c.remove(i);
+  EXPECT_DOUBLE_EQ(c.effective_occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.total_bandwidth(), 0.0);
+}
+
+}  // namespace
+}  // namespace facsp::cac

@@ -1,0 +1,134 @@
+#include "cac/guard_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace facsp::cac {
+namespace {
+
+using cellular::BaseStation;
+using cellular::Connection;
+using cellular::HexCoord;
+using cellular::Point;
+using cellular::RequestKind;
+using cellular::ServiceClass;
+
+AdmissionRequest request(ServiceClass svc, RequestKind kind) {
+  AdmissionRequest req;
+  req.id = 1;
+  req.service = svc;
+  req.bandwidth = cellular::service_bandwidth(svc);
+  req.kind = kind;
+  return req;
+}
+
+void fill(BaseStation& bs, double amount) {
+  static cellular::ConnectionId next = 1000;
+  Connection c;
+  c.id = next++;
+  c.service = ServiceClass::kVideo;
+  c.bandwidth = amount;
+  ASSERT_TRUE(bs.allocate(c, 0.0));
+}
+
+TEST(CompleteSharing, AdmitsWhileItFits) {
+  BaseStation bs(0, HexCoord{0, 0}, Point{0, 0}, 40.0);
+  CompleteSharingPolicy cs;
+  EXPECT_TRUE(
+      cs.decide(request(ServiceClass::kVideo, RequestKind::kNew), bs)
+          .admitted);
+  fill(bs, 35.0);
+  EXPECT_FALSE(
+      cs.decide(request(ServiceClass::kVideo, RequestKind::kNew), bs)
+          .admitted);
+  EXPECT_TRUE(cs.decide(request(ServiceClass::kVoice, RequestKind::kNew), bs)
+                  .admitted);
+  EXPECT_EQ(cs.name(), "CS");
+}
+
+TEST(GuardChannel, ReservesForHandoffs) {
+  BaseStation bs(0, HexCoord{0, 0}, Point{0, 0}, 40.0);
+  GuardChannelPolicy gc(8.0);
+  fill(bs, 28.0);  // free = 12, guard = 8 -> new calls see 4
+  EXPECT_TRUE(gc.decide(request(ServiceClass::kText, RequestKind::kNew), bs)
+                  .admitted);
+  EXPECT_FALSE(gc.decide(request(ServiceClass::kVoice, RequestKind::kNew), bs)
+                   .admitted);
+  // Handoffs may use the guard region.
+  EXPECT_TRUE(
+      gc.decide(request(ServiceClass::kVoice, RequestKind::kHandoff), bs)
+          .admitted);
+  EXPECT_TRUE(
+      gc.decide(request(ServiceClass::kVideo, RequestKind::kHandoff), bs)
+          .admitted);
+}
+
+TEST(GuardChannel, ZeroGuardEqualsCompleteSharing) {
+  BaseStation bs(0, HexCoord{0, 0}, Point{0, 0}, 40.0);
+  GuardChannelPolicy gc(0.0);
+  CompleteSharingPolicy cs;
+  fill(bs, 30.0);
+  for (auto svc :
+       {ServiceClass::kText, ServiceClass::kVoice, ServiceClass::kVideo}) {
+    EXPECT_EQ(gc.decide(request(svc, RequestKind::kNew), bs).admitted,
+              cs.decide(request(svc, RequestKind::kNew), bs).admitted);
+  }
+}
+
+TEST(GuardChannel, NegativeGuardRejected) {
+  EXPECT_THROW(GuardChannelPolicy(-1.0), facsp::ConfigError);
+  EXPECT_THROW(
+      FractionalGuardChannelPolicy(-1.0, sim::RandomStream(1)),
+      facsp::ConfigError);
+}
+
+TEST(FractionalGuard, AlwaysAdmitsBelowGuardRegion) {
+  BaseStation bs(0, HexCoord{0, 0}, Point{0, 0}, 40.0);
+  FractionalGuardChannelPolicy fgc(10.0, sim::RandomStream(3));
+  // free after call = 40 - 5 = 35 >= guard 10 -> probability 1.
+  for (int i = 0; i < 20; ++i)
+    EXPECT_TRUE(
+        fgc.decide(request(ServiceClass::kVoice, RequestKind::kNew), bs)
+            .admitted);
+}
+
+TEST(FractionalGuard, NeverAdmitsNewIntoExhaustedGuard) {
+  BaseStation bs(0, HexCoord{0, 0}, Point{0, 0}, 40.0);
+  FractionalGuardChannelPolicy fgc(10.0, sim::RandomStream(3));
+  fill(bs, 32.0);  // free 8; after a voice call 3 -> p = 0.3
+  int admitted = 0;
+  for (int i = 0; i < 500; ++i)
+    admitted +=
+        fgc.decide(request(ServiceClass::kVoice, RequestKind::kNew), bs)
+            .admitted;
+  EXPECT_GT(admitted, 90);   // ~30% of 500
+  EXPECT_LT(admitted, 220);
+}
+
+TEST(FractionalGuard, HandoffBypassesTheGuard) {
+  BaseStation bs(0, HexCoord{0, 0}, Point{0, 0}, 40.0);
+  FractionalGuardChannelPolicy fgc(10.0, sim::RandomStream(3));
+  fill(bs, 35.0);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_TRUE(
+        fgc.decide(request(ServiceClass::kVoice, RequestKind::kHandoff), bs)
+            .admitted);
+}
+
+TEST(Baselines, NeverAdmitBeyondPhysicalCapacity) {
+  BaseStation bs(0, HexCoord{0, 0}, Point{0, 0}, 40.0);
+  fill(bs, 39.5);
+  CompleteSharingPolicy cs;
+  GuardChannelPolicy gc(4.0);
+  FractionalGuardChannelPolicy fgc(4.0, sim::RandomStream(9));
+  for (auto kind : {RequestKind::kNew, RequestKind::kHandoff}) {
+    EXPECT_FALSE(cs.decide(request(ServiceClass::kVoice, kind), bs).admitted);
+    EXPECT_FALSE(gc.decide(request(ServiceClass::kVoice, kind), bs).admitted);
+    EXPECT_FALSE(
+        fgc.decide(request(ServiceClass::kVoice, kind), bs).admitted);
+  }
+}
+
+}  // namespace
+}  // namespace facsp::cac

@@ -1,0 +1,115 @@
+#include "cac/threshold.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace facsp::cac {
+namespace {
+
+using cellular::BaseStation;
+using cellular::Connection;
+using cellular::HexCoord;
+using cellular::Point;
+using cellular::RequestKind;
+using cellular::ServiceClass;
+
+AdmissionRequest request(cellular::ConnectionId id, ServiceClass svc) {
+  AdmissionRequest req;
+  req.id = id;
+  req.service = svc;
+  req.bandwidth = cellular::service_bandwidth(svc);
+  req.kind = RequestKind::kNew;
+  return req;
+}
+
+struct CpFixture : ::testing::Test {
+  BaseStation bs{0, HexCoord{0, 0}, Point{0, 0}, 40.0};
+  CompletePartitioningPolicy cp{Partition{10.0, 15.0, 15.0}};
+
+  void admit(const AdmissionRequest& req) {
+    Connection c;
+    c.id = req.id;
+    c.service = req.service;
+    c.bandwidth = req.bandwidth;
+    ASSERT_TRUE(bs.allocate(c, 0.0));
+    cp.on_admitted(req, bs);
+  }
+};
+
+TEST_F(CpFixture, AdmitsWithinQuota) {
+  EXPECT_TRUE(cp.decide(request(1, ServiceClass::kVideo), bs).admitted);
+  EXPECT_TRUE(cp.decide(request(2, ServiceClass::kVoice), bs).admitted);
+  EXPECT_TRUE(cp.decide(request(3, ServiceClass::kText), bs).admitted);
+}
+
+TEST_F(CpFixture, RejectsBeyondClassQuota) {
+  admit(request(1, ServiceClass::kVideo));  // video used: 10/15
+  EXPECT_FALSE(cp.decide(request(2, ServiceClass::kVideo), bs).admitted);
+  // Other classes unaffected even though the cell has room.
+  EXPECT_TRUE(cp.decide(request(3, ServiceClass::kVoice), bs).admitted);
+  EXPECT_TRUE(cp.decide(request(4, ServiceClass::kText), bs).admitted);
+}
+
+TEST_F(CpFixture, QuotaFreedOnRelease) {
+  admit(request(1, ServiceClass::kVideo));
+  EXPECT_FALSE(cp.decide(request(2, ServiceClass::kVideo), bs).admitted);
+  bs.release(1, 1.0);
+  cp.on_released(1, ServiceClass::kVideo, bs);
+  EXPECT_TRUE(cp.decide(request(2, ServiceClass::kVideo), bs).admitted);
+  EXPECT_DOUBLE_EQ(cp.used(bs.id(), ServiceClass::kVideo), 0.0);
+}
+
+TEST_F(CpFixture, TracksUsagePerClass) {
+  admit(request(1, ServiceClass::kText));
+  admit(request(2, ServiceClass::kText));
+  admit(request(3, ServiceClass::kVoice));
+  EXPECT_DOUBLE_EQ(cp.used(bs.id(), ServiceClass::kText), 2.0);
+  EXPECT_DOUBLE_EQ(cp.used(bs.id(), ServiceClass::kVoice), 5.0);
+  EXPECT_DOUBLE_EQ(cp.used(bs.id(), ServiceClass::kVideo), 0.0);
+}
+
+TEST_F(CpFixture, TextQuotaExhaustion) {
+  for (cellular::ConnectionId id = 1; id <= 10; ++id)
+    admit(request(id, ServiceClass::kText));
+  EXPECT_FALSE(cp.decide(request(99, ServiceClass::kText), bs).admitted);
+}
+
+TEST_F(CpFixture, PhysicalCapacityStillBinds) {
+  // Partition sums to the capacity here, but shrink the cell: quotas alone
+  // must not admit beyond physical room.
+  BaseStation tiny(1, HexCoord{0, 0}, Point{0, 0}, 8.0);
+  CompletePartitioningPolicy policy{Partition{10.0, 15.0, 15.0}};
+  EXPECT_FALSE(
+      policy.decide(request(1, ServiceClass::kVideo), tiny).admitted);
+  EXPECT_TRUE(policy.decide(request(2, ServiceClass::kVoice), tiny).admitted);
+}
+
+TEST_F(CpFixture, ResetClearsLedger) {
+  admit(request(1, ServiceClass::kVideo));
+  cp.reset();
+  EXPECT_DOUBLE_EQ(cp.used(bs.id(), ServiceClass::kVideo), 0.0);
+}
+
+TEST_F(CpFixture, UnknownReleaseIgnored) {
+  EXPECT_NO_THROW(cp.on_released(999, ServiceClass::kText, bs));
+}
+
+TEST(Partition, Validation) {
+  EXPECT_THROW(CompletePartitioningPolicy(Partition{-1.0, 1.0, 1.0}),
+               facsp::ConfigError);
+  EXPECT_THROW(CompletePartitioningPolicy(Partition{0.0, 0.0, 0.0}),
+               facsp::ConfigError);
+  EXPECT_NO_THROW(CompletePartitioningPolicy(Partition{0.0, 0.0, 5.0}));
+}
+
+TEST(Partition, QuotaLookup) {
+  const Partition p{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(p.quota(ServiceClass::kText), 1.0);
+  EXPECT_DOUBLE_EQ(p.quota(ServiceClass::kVoice), 2.0);
+  EXPECT_DOUBLE_EQ(p.quota(ServiceClass::kVideo), 3.0);
+  EXPECT_DOUBLE_EQ(p.total(), 6.0);
+}
+
+}  // namespace
+}  // namespace facsp::cac

@@ -1,0 +1,93 @@
+#include "cellular/erlang.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace facsp::cellular {
+namespace {
+
+TEST(ErlangB, KnownValues) {
+  // Classic table values.
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(1.0, 2), 0.2, 1e-12);
+  EXPECT_NEAR(erlang_b(10.0, 10), 0.21459, 1e-4);
+  EXPECT_NEAR(erlang_b(20.0, 30), 0.00846, 1e-4);
+}
+
+TEST(ErlangB, EdgeCases) {
+  EXPECT_DOUBLE_EQ(erlang_b(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_b(3.0, 0), 1.0);
+  EXPECT_THROW(erlang_b(-1.0, 5), ConfigError);
+  EXPECT_THROW(erlang_b(1.0, -1), ConfigError);
+}
+
+TEST(ErlangB, MonotoneInLoadAndServers) {
+  EXPECT_LT(erlang_b(5.0, 10), erlang_b(8.0, 10));
+  EXPECT_GT(erlang_b(5.0, 5), erlang_b(5.0, 10));
+}
+
+TEST(KaufmanRoberts, SingleUnitClassReducesToErlangB) {
+  // One class of 1-BU calls on a C-unit link == Erlang-B with C servers.
+  for (double a : {2.0, 8.0, 15.0}) {
+    KaufmanRoberts kr(10, {{a, 1}});
+    EXPECT_NEAR(kr.blocking(0), erlang_b(a, 10), 1e-10) << "a=" << a;
+  }
+}
+
+TEST(KaufmanRoberts, OccupancyDistributionNormalised) {
+  KaufmanRoberts kr(40, {{7.0, 1}, {2.0, 5}, {1.0, 10}});
+  double total = 0.0;
+  for (int j = 0; j <= 40; ++j) {
+    EXPECT_GE(kr.occupancy_probability(j), 0.0);
+    total += kr.occupancy_probability(j);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(KaufmanRoberts, WiderCallsBlockMore) {
+  KaufmanRoberts kr(40, {{7.0, 1}, {2.0, 5}, {1.0, 10}});
+  EXPECT_LT(kr.blocking(0), kr.blocking(1));
+  EXPECT_LT(kr.blocking(1), kr.blocking(2));
+}
+
+TEST(KaufmanRoberts, ZeroLoadMeansNoBlocking) {
+  KaufmanRoberts kr(40, {{0.0, 1}, {0.0, 5}});
+  EXPECT_DOUBLE_EQ(kr.blocking(0), 0.0);
+  EXPECT_DOUBLE_EQ(kr.mean_occupancy(), 0.0);
+  EXPECT_DOUBLE_EQ(kr.acceptance_percent(), 100.0);
+}
+
+TEST(KaufmanRoberts, HeavyLoadBlocksAlmostEverything) {
+  KaufmanRoberts kr(10, {{1000.0, 1}});
+  EXPECT_GT(kr.blocking(0), 0.98);
+}
+
+TEST(KaufmanRoberts, MeanOccupancyMatchesCarriedLoad) {
+  // Carried load = sum_k a_k b_k (1 - B_k) must equal mean occupancy.
+  KaufmanRoberts kr(40, {{7.0, 1}, {2.0, 5}, {1.0, 10}});
+  double carried = 0.0;
+  for (std::size_t k = 0; k < kr.classes().size(); ++k)
+    carried += kr.classes()[k].offered_erlangs *
+               kr.classes()[k].bandwidth_units * (1.0 - kr.blocking(k));
+  EXPECT_NEAR(kr.mean_occupancy(), carried, 1e-8);
+}
+
+TEST(KaufmanRoberts, ForPaperMixBuildsThreeClasses) {
+  const auto kr = KaufmanRoberts::for_paper_mix(40, TrafficMix{}, 0.05, 300.0);
+  ASSERT_EQ(kr.classes().size(), 3u);
+  EXPECT_NEAR(kr.classes()[0].offered_erlangs, 0.05 * 0.7 * 300.0, 1e-9);
+  EXPECT_EQ(kr.classes()[0].bandwidth_units, 1);
+  EXPECT_EQ(kr.classes()[1].bandwidth_units, 5);
+  EXPECT_EQ(kr.classes()[2].bandwidth_units, 10);
+}
+
+TEST(KaufmanRoberts, Validation) {
+  EXPECT_THROW(KaufmanRoberts(0, {{1.0, 1}}), ConfigError);
+  EXPECT_THROW(KaufmanRoberts(10, {}), ConfigError);
+  EXPECT_THROW(KaufmanRoberts(10, {{1.0, 0}}), ConfigError);
+  EXPECT_THROW(KaufmanRoberts(10, {{-1.0, 1}}), ConfigError);
+}
+
+}  // namespace
+}  // namespace facsp::cellular

@@ -1,0 +1,75 @@
+#include "cellular/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace facsp::cellular {
+namespace {
+
+TEST(Metrics, EmptyDefaults) {
+  MetricsCollector m;
+  EXPECT_DOUBLE_EQ(m.acceptance_percent(), 100.0);  // default if_empty
+  EXPECT_DOUBLE_EQ(m.acceptance_percent(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.blocking_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(m.dropping_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(m.completion_ratio(), 1.0);
+}
+
+TEST(Metrics, AcceptancePercent) {
+  MetricsCollector m;
+  m.record_new_call(ServiceClass::kText, true);
+  m.record_new_call(ServiceClass::kText, true);
+  m.record_new_call(ServiceClass::kVoice, false);
+  m.record_new_call(ServiceClass::kVideo, true);
+  EXPECT_DOUBLE_EQ(m.acceptance_percent(), 75.0);
+  EXPECT_EQ(m.offered_new(), 4u);
+  EXPECT_EQ(m.accepted_new(), 3u);
+  EXPECT_EQ(m.blocked(), 1u);
+  EXPECT_DOUBLE_EQ(m.blocking_probability(), 0.25);
+}
+
+TEST(Metrics, PerServiceAcceptance) {
+  MetricsCollector m;
+  m.record_new_call(ServiceClass::kText, true);
+  m.record_new_call(ServiceClass::kVideo, false);
+  m.record_new_call(ServiceClass::kVideo, true);
+  EXPECT_DOUBLE_EQ(m.acceptance_percent(ServiceClass::kText), 100.0);
+  EXPECT_DOUBLE_EQ(m.acceptance_percent(ServiceClass::kVideo), 50.0);
+  EXPECT_DOUBLE_EQ(m.acceptance_percent(ServiceClass::kVoice), 100.0);
+}
+
+TEST(Metrics, HandoffDropping) {
+  MetricsCollector m;
+  m.record_handoff(ServiceClass::kVoice, true);
+  m.record_handoff(ServiceClass::kVoice, true);
+  m.record_handoff(ServiceClass::kVideo, false);
+  EXPECT_EQ(m.handoff_attempts(), 3u);
+  EXPECT_EQ(m.handoff_successes(), 2u);
+  EXPECT_NEAR(m.dropping_probability(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, CompletionRatio) {
+  MetricsCollector m;
+  m.record_completion(ServiceClass::kText);
+  m.record_completion(ServiceClass::kVoice);
+  m.record_completion(ServiceClass::kVideo);
+  m.record_drop(ServiceClass::kVideo);
+  EXPECT_DOUBLE_EQ(m.completion_ratio(), 0.75);
+  EXPECT_EQ(m.completed(), 3u);
+  EXPECT_EQ(m.dropped(), 1u);
+}
+
+TEST(Metrics, PrintIsHumanReadable) {
+  MetricsCollector m;
+  m.record_new_call(ServiceClass::kText, true);
+  m.record_new_call(ServiceClass::kVideo, false);
+  std::ostringstream os;
+  m.print(os);
+  EXPECT_NE(os.str().find("offered=2"), std::string::npos);
+  EXPECT_NE(os.str().find("accepted=1"), std::string::npos);
+  EXPECT_NE(os.str().find("text"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace facsp::cellular

@@ -1,0 +1,146 @@
+#include "cellular/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "sim/rng.h"
+
+namespace facsp::cellular {
+namespace {
+
+TEST(MobilityConfig, HeadingSigmaDecreasesWithSpeed) {
+  const MobilityConfig cfg;
+  double prev = 1e9;
+  for (double v : {0.0, 4.0, 10.0, 30.0, 60.0, 120.0}) {
+    const double s = cfg.heading_sigma(v);
+    EXPECT_LT(s, prev) << "v=" << v;
+    EXPECT_GT(s, 0.0);
+    prev = s;
+  }
+}
+
+TEST(MobilityConfig, SigmaAtReferenceIsHalfBase) {
+  MobilityConfig cfg;
+  cfg.base_sigma_deg = 48.0;
+  cfg.reference_kmh = 18.0;
+  EXPECT_NEAR(cfg.heading_sigma(18.0), 24.0, 1e-9);
+}
+
+TEST(MobilityModel, StraightLineWithoutNoise) {
+  MobilityConfig cfg;
+  cfg.base_sigma_deg = 0.0;  // no wander
+  MobilityModel model(cfg, sim::RandomStream(1));
+  MobileState st{{0.0, 0.0}, 36.0, 0.0};  // 36 km/h = 10 m/s heading east
+  model.advance(st, 10.0);
+  EXPECT_NEAR(st.position.x, 100.0, 1e-9);
+  EXPECT_NEAR(st.position.y, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(st.heading_deg, 0.0);
+}
+
+TEST(MobilityModel, HeadingAffectsDirection) {
+  MobilityConfig cfg;
+  cfg.base_sigma_deg = 0.0;
+  MobilityModel model(cfg, sim::RandomStream(1));
+  MobileState st{{0.0, 0.0}, 36.0, 90.0};  // north
+  model.advance(st, 5.0);
+  EXPECT_NEAR(st.position.x, 0.0, 1e-9);
+  EXPECT_NEAR(st.position.y, 50.0, 1e-9);
+}
+
+TEST(MobilityModel, SlowUsersWanderMoreThanFastUsers) {
+  const MobilityConfig cfg;
+  const int trials = 400;
+  auto wander = [&](double speed) {
+    MobilityModel model(cfg, sim::RandomStream(77));
+    double sum = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      MobileState st{{0.0, 0.0}, speed, 0.0};
+      model.advance(st, cfg.update_interval_s);
+      sum += std::fabs(wrap_angle_deg(st.heading_deg));
+    }
+    return sum / trials;
+  };
+  EXPECT_GT(wander(4.0), 1.5 * wander(60.0));
+}
+
+TEST(MobilityModel, DeterministicGivenSeed) {
+  const MobilityConfig cfg;
+  MobilityModel a(cfg, sim::RandomStream(5));
+  MobilityModel b(cfg, sim::RandomStream(5));
+  MobileState sa{{0.0, 0.0}, 50.0, 30.0};
+  MobileState sb = sa;
+  for (int i = 0; i < 20; ++i) {
+    a.advance(sa, 5.0);
+    b.advance(sb, 5.0);
+  }
+  EXPECT_DOUBLE_EQ(sa.position.x, sb.position.x);
+  EXPECT_DOUBLE_EQ(sa.heading_deg, sb.heading_deg);
+}
+
+TEST(MobilityModel, ZeroDtIsNoOpOnPosition) {
+  const MobilityConfig cfg;
+  MobilityModel model(cfg, sim::RandomStream(5));
+  MobileState st{{10.0, 20.0}, 50.0, 0.0};
+  model.advance(st, 0.0);
+  EXPECT_DOUBLE_EQ(st.position.x, 10.0);
+  EXPECT_DOUBLE_EQ(st.position.y, 20.0);
+}
+
+TEST(AngleToBs, ZeroWhenHeadingStraightAtBs) {
+  // User at (1000, 0) heading west (180 deg) toward BS at origin.
+  const MobileState st{{1000.0, 0.0}, 50.0, 180.0};
+  EXPECT_NEAR(angle_to_bs_deg(st, {0.0, 0.0}), 0.0, 1e-9);
+}
+
+TEST(AngleToBs, HalfTurnWhenHeadingAway) {
+  const MobileState st{{1000.0, 0.0}, 50.0, 0.0};  // east, away from origin
+  EXPECT_NEAR(std::fabs(angle_to_bs_deg(st, {0.0, 0.0})), 180.0, 1e-9);
+}
+
+TEST(AngleToBs, NinetyWhenTangential) {
+  const MobileState st{{1000.0, 0.0}, 50.0, 90.0};  // north, BS to the west
+  EXPECT_NEAR(std::fabs(angle_to_bs_deg(st, {0.0, 0.0})), 90.0, 1e-9);
+}
+
+TEST(DirectionPredictor, SigmaDecreasesWithSpeed) {
+  const DirectionPredictor::Config cfg;
+  DirectionPredictor pred(cfg, sim::RandomStream(9));
+  EXPECT_GT(pred.sigma_deg(4.0), pred.sigma_deg(30.0));
+  EXPECT_GT(pred.sigma_deg(30.0), pred.sigma_deg(120.0));
+}
+
+TEST(DirectionPredictor, PredictionErrorShrinksWithSpeed) {
+  const DirectionPredictor::Config cfg;
+  auto rms_error = [&](double speed) {
+    DirectionPredictor pred(cfg, sim::RandomStream(21));
+    const MobileState st{{1000.0, 0.0}, speed, 180.0};  // true angle 0
+    double sq = 0.0;
+    const int n = 800;
+    for (int i = 0; i < n; ++i) {
+      const double e = pred.predict_angle_deg(st, {0.0, 0.0});
+      sq += e * e;
+    }
+    return std::sqrt(sq / n);
+  };
+  const double slow = rms_error(4.0);
+  const double fast = rms_error(60.0);
+  EXPECT_GT(slow, 2.0 * fast);
+  // RMS error should be in the ballpark of the configured sigma.
+  DirectionPredictor pred(cfg, sim::RandomStream(1));
+  EXPECT_NEAR(slow, pred.sigma_deg(4.0), pred.sigma_deg(4.0) * 0.25);
+}
+
+TEST(DirectionPredictor, PredictionIsUnbiased) {
+  const DirectionPredictor::Config cfg;
+  DirectionPredictor pred(cfg, sim::RandomStream(33));
+  const MobileState st{{1000.0, 0.0}, 30.0, 180.0};  // true angle 0
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) sum += pred.predict_angle_deg(st, {0.0, 0.0});
+  EXPECT_NEAR(sum / n, 0.0, 2.0);
+}
+
+}  // namespace
+}  // namespace facsp::cellular

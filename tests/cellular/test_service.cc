@@ -1,0 +1,57 @@
+#include "cellular/service.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace facsp::cellular {
+namespace {
+
+TEST(Service, PaperBandwidths) {
+  EXPECT_DOUBLE_EQ(service_bandwidth(ServiceClass::kText), 1.0);
+  EXPECT_DOUBLE_EQ(service_bandwidth(ServiceClass::kVoice), 5.0);
+  EXPECT_DOUBLE_EQ(service_bandwidth(ServiceClass::kVideo), 10.0);
+}
+
+TEST(Service, RealTimeClassification) {
+  EXPECT_FALSE(is_real_time(ServiceClass::kText));
+  EXPECT_TRUE(is_real_time(ServiceClass::kVoice));
+  EXPECT_TRUE(is_real_time(ServiceClass::kVideo));
+}
+
+TEST(Service, Names) {
+  EXPECT_EQ(service_name(ServiceClass::kText), "text");
+  EXPECT_EQ(service_name(ServiceClass::kVoice), "voice");
+  EXPECT_EQ(service_name(ServiceClass::kVideo), "video");
+  std::ostringstream os;
+  os << ServiceClass::kVideo;
+  EXPECT_EQ(os.str(), "video");
+}
+
+TEST(TrafficMix, PaperDefaultValidatesAndHasMean27) {
+  const TrafficMix mix;
+  EXPECT_NO_THROW(mix.validate());
+  EXPECT_DOUBLE_EQ(mix.probability(ServiceClass::kText), 0.70);
+  EXPECT_DOUBLE_EQ(mix.probability(ServiceClass::kVoice), 0.20);
+  EXPECT_DOUBLE_EQ(mix.probability(ServiceClass::kVideo), 0.10);
+  // 0.7*1 + 0.2*5 + 0.1*10 = 2.7 BU.
+  EXPECT_DOUBLE_EQ(mix.mean_bandwidth(), 2.7);
+}
+
+TEST(TrafficMix, RejectsNegativeAndNonUnit) {
+  TrafficMix bad1{-0.1, 0.6, 0.5};
+  EXPECT_THROW(bad1.validate(), ConfigError);
+  TrafficMix bad2{0.5, 0.2, 0.2};  // sums to 0.9
+  EXPECT_THROW(bad2.validate(), ConfigError);
+}
+
+TEST(TrafficMix, DegenerateSingleService) {
+  TrafficMix all_text{1.0, 0.0, 0.0};
+  EXPECT_NO_THROW(all_text.validate());
+  EXPECT_DOUBLE_EQ(all_text.mean_bandwidth(), 1.0);
+}
+
+}  // namespace
+}  // namespace facsp::cellular

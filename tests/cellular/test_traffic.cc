@@ -1,0 +1,184 @@
+#include "cellular/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cellular/mobility.h"
+#include "common/error.h"
+#include "common/math_util.h"
+#include "sim/rng.h"
+
+namespace facsp::cellular {
+namespace {
+
+struct TrafficFixture : ::testing::Test {
+  HexLayout layout{2000.0};
+  Point bs_pos{0.0, 0.0};
+
+  TrafficGenerator make(TrafficConfig cfg, std::uint64_t seed = 5,
+                        ConnectionId first_id = 1) {
+    return TrafficGenerator(cfg, layout, HexCoord{0, 0}, bs_pos,
+                            sim::RandomStream(seed), first_id);
+  }
+};
+
+TEST_F(TrafficFixture, GeneratesRequestedCount) {
+  auto gen = make({});
+  EXPECT_EQ(gen.generate(0).size(), 0u);
+  EXPECT_EQ(gen.generate(25).size(), 25u);
+}
+
+TEST_F(TrafficFixture, ArrivalsSortedWithinWindow) {
+  TrafficConfig cfg;
+  cfg.arrival_window_s = 600.0;
+  auto gen = make(cfg);
+  const auto reqs = gen.generate(100, 50.0);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].arrival_time, 50.0);
+    EXPECT_LE(reqs[i].arrival_time, 650.0);
+    if (i > 0) EXPECT_GE(reqs[i].arrival_time, reqs[i - 1].arrival_time);
+  }
+}
+
+TEST_F(TrafficFixture, IdsAreSequentialAndUnique) {
+  auto gen = make({}, 5, 100);
+  const auto batch1 = gen.generate(10);
+  const auto batch2 = gen.generate(10);
+  std::set<ConnectionId> ids;
+  for (const auto& r : batch1) ids.insert(r.id);
+  for (const auto& r : batch2) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), 20u);
+  EXPECT_EQ(*ids.begin(), 100u);
+}
+
+TEST_F(TrafficFixture, ServiceMixMatchesConfiguredShares) {
+  auto gen = make({});
+  const auto reqs = gen.generate(6000);
+  int counts[3] = {0, 0, 0};
+  for (const auto& r : reqs) ++counts[static_cast<int>(r.service)];
+  EXPECT_NEAR(counts[0] / 6000.0, 0.70, 0.03);
+  EXPECT_NEAR(counts[1] / 6000.0, 0.20, 0.03);
+  EXPECT_NEAR(counts[2] / 6000.0, 0.10, 0.03);
+}
+
+TEST_F(TrafficFixture, BandwidthMatchesService) {
+  auto gen = make({});
+  for (const auto& r : gen.generate(200))
+    EXPECT_DOUBLE_EQ(r.bandwidth, service_bandwidth(r.service));
+}
+
+TEST_F(TrafficFixture, HoldingTimesExponentialWithConfiguredMean) {
+  TrafficConfig cfg;
+  cfg.mean_holding_s = 300.0;
+  auto gen = make(cfg);
+  double sum = 0.0;
+  const auto reqs = gen.generate(4000);
+  for (const auto& r : reqs) {
+    EXPECT_GE(r.holding_time, 0.0);
+    sum += r.holding_time;
+  }
+  EXPECT_NEAR(sum / reqs.size(), 300.0, 15.0);
+}
+
+TEST_F(TrafficFixture, SpawnPositionsInsideCell) {
+  auto gen = make({});
+  for (const auto& r : gen.generate(300))
+    EXPECT_EQ(layout.cell_at(r.mobile.position), (HexCoord{0, 0}));
+}
+
+TEST_F(TrafficFixture, UniformSpeedRange) {
+  TrafficConfig cfg;
+  cfg.min_speed_kmh = 0.0;
+  cfg.max_speed_kmh = 120.0;
+  auto gen = make(cfg);
+  double lo = 1e9, hi = -1e9, sum = 0.0;
+  const auto reqs = gen.generate(3000);
+  for (const auto& r : reqs) {
+    lo = std::min(lo, r.mobile.speed_kmh);
+    hi = std::max(hi, r.mobile.speed_kmh);
+    sum += r.mobile.speed_kmh;
+  }
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 120.0);
+  EXPECT_LT(lo, 5.0);
+  EXPECT_GT(hi, 115.0);
+  EXPECT_NEAR(sum / reqs.size(), 60.0, 3.0);
+}
+
+TEST_F(TrafficFixture, FixedSpeedApplies) {
+  TrafficConfig cfg;
+  cfg.fixed_speed_kmh = 30.0;
+  auto gen = make(cfg);
+  for (const auto& r : gen.generate(100))
+    EXPECT_DOUBLE_EQ(r.mobile.speed_kmh, 30.0);
+}
+
+TEST_F(TrafficFixture, FixedAngleProducesThatAngleToBs) {
+  TrafficConfig cfg;
+  cfg.fixed_angle_deg = 50.0;
+  auto gen = make(cfg);
+  for (const auto& r : gen.generate(300)) {
+    const double angle = angle_to_bs_deg(r.mobile, bs_pos);
+    EXPECT_NEAR(std::fabs(angle), 50.0, 1e-6);
+  }
+}
+
+TEST_F(TrafficFixture, FixedAngleUsesBothSigns) {
+  TrafficConfig cfg;
+  cfg.fixed_angle_deg = 30.0;
+  auto gen = make(cfg);
+  int pos = 0, neg = 0;
+  for (const auto& r : gen.generate(300)) {
+    (angle_to_bs_deg(r.mobile, bs_pos) > 0.0 ? pos : neg)++;
+  }
+  EXPECT_GT(pos, 50);
+  EXPECT_GT(neg, 50);
+}
+
+TEST_F(TrafficFixture, RandomHeadingCoversFullCircle) {
+  auto gen = make({});
+  int quadrants[4] = {0, 0, 0, 0};
+  for (const auto& r : gen.generate(1000)) {
+    const double h = r.mobile.heading_deg;
+    EXPECT_GE(h, -180.0);
+    EXPECT_LE(h, 180.0);
+    ++quadrants[static_cast<int>((h + 180.0) / 90.000001)];
+  }
+  for (int q : quadrants) EXPECT_GT(q, 150);
+}
+
+TEST_F(TrafficFixture, SameSeedSameWorkload) {
+  auto a = make({}, 42);
+  auto b = make({}, 42);
+  const auto ra = a.generate(50);
+  const auto rb = b.generate(50);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].service, rb[i].service);
+    EXPECT_DOUBLE_EQ(ra[i].arrival_time, rb[i].arrival_time);
+    EXPECT_DOUBLE_EQ(ra[i].mobile.speed_kmh, rb[i].mobile.speed_kmh);
+  }
+}
+
+TEST(TrafficConfig, Validation) {
+  TrafficConfig bad;
+  bad.arrival_window_s = -1.0;
+  EXPECT_THROW(bad.validate(), facsp::ConfigError);
+  bad = {};
+  bad.mean_holding_s = 0.0;
+  EXPECT_THROW(bad.validate(), facsp::ConfigError);
+  bad = {};
+  bad.min_speed_kmh = 50.0;
+  bad.max_speed_kmh = 10.0;
+  EXPECT_THROW(bad.validate(), facsp::ConfigError);
+  bad = {};
+  bad.fixed_angle_deg = 200.0;
+  EXPECT_THROW(bad.validate(), facsp::ConfigError);
+  bad = {};
+  bad.mix = TrafficMix{0.5, 0.5, 0.5};
+  EXPECT_THROW(bad.validate(), facsp::ConfigError);
+}
+
+}  // namespace
+}  // namespace facsp::cellular

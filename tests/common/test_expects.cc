@@ -1,0 +1,59 @@
+#include "common/expects.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace facsp {
+namespace {
+
+TEST(Expects, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(FACSP_EXPECTS(1 + 1 == 2));
+  EXPECT_NO_THROW(FACSP_ENSURES(true));
+}
+
+TEST(Expects, FailingConditionThrowsContractViolation) {
+  EXPECT_THROW(FACSP_EXPECTS(false), ContractViolation);
+  EXPECT_THROW(FACSP_ENSURES(1 > 2), ContractViolation);
+}
+
+TEST(Expects, MessageIncludesExpressionAndContext) {
+  try {
+    const int n = 3;
+    FACSP_EXPECTS_MSG(n == 4, "n was " << n);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n == 4"), std::string::npos);
+    EXPECT_NE(what.find("n was 3"), std::string::npos);
+  }
+}
+
+TEST(Expects, ContractViolationIsAnError) {
+  // Applications catching facsp::Error at the boundary also see contract
+  // violations.
+  try {
+    FACSP_EXPECTS(false);
+    FAIL();
+  } catch (const Error&) {
+    SUCCEED();
+  }
+}
+
+TEST(Errors, ParseErrorCarriesLineNumber) {
+  const ParseError with_line("bad token", 42);
+  EXPECT_EQ(with_line.line(), 42);
+  EXPECT_NE(std::string(with_line.what()).find("42"), std::string::npos);
+
+  const ParseError without(std::string("oops"));
+  EXPECT_EQ(without.line(), -1);
+}
+
+TEST(Errors, HierarchyIsCatchable) {
+  EXPECT_THROW(throw ConfigError("x"), Error);
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw ContractViolation("x"), Error);
+}
+
+}  // namespace
+}  // namespace facsp

@@ -1,0 +1,97 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace facsp {
+namespace {
+
+TEST(ApproxEqual, ExactValuesCompareEqual) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+  EXPECT_TRUE(approx_equal(-3.5, -3.5));
+}
+
+TEST(ApproxEqual, WithinRelativeTolerance) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 * (1.0 + 1e-10)));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+}
+
+TEST(ApproxEqual, WithinAbsoluteToleranceNearZero) {
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_FALSE(approx_equal(0.0, 1e-6));
+}
+
+TEST(ApproxEqual, InfinitiesOfSameSignAreEqual) {
+  EXPECT_TRUE(approx_equal(kInf, kInf));
+  EXPECT_FALSE(approx_equal(kInf, -kInf));
+  EXPECT_FALSE(approx_equal(kInf, 1.0));
+}
+
+TEST(Lerp, EndpointsAndMidpoint) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lerp(2.0, 4.0, 2.0), 6.0);  // extrapolation
+}
+
+TEST(Clamp, InsideAndOutside) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(11.0, 0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(clamp(0.0, 0.0, 0.0), 0.0);
+}
+
+TEST(AngleConversions, DegreesRadiansRoundTrip) {
+  EXPECT_NEAR(deg_to_rad(180.0), kPi, 1e-12);
+  EXPECT_NEAR(rad_to_deg(kPi / 2.0), 90.0, 1e-12);
+  for (double d : {-170.0, -45.0, 0.0, 33.3, 120.0}) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(d)), d, 1e-10);
+  }
+}
+
+TEST(WrapAngle, IdentityInsideRange) {
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(179.0), 179.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(-179.0), -179.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(180.0), 180.0);
+}
+
+TEST(WrapAngle, WrapsBeyondHalfTurn) {
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(181.0), -179.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(-181.0), 179.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(540.0), 180.0);
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(-360.0), 0.0);
+  EXPECT_NEAR(wrap_angle_deg(725.0), 5.0, 1e-10);
+}
+
+TEST(WrapAngle, MinusPiMapsToPlusPi) {
+  // (-180, 180] convention: -180 maps to +180.
+  EXPECT_DOUBLE_EQ(wrap_angle_deg(-180.0), 180.0);
+}
+
+TEST(AngleDistance, BasicDistances) {
+  EXPECT_DOUBLE_EQ(angle_distance_deg(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(angle_distance_deg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(angle_distance_deg(-90.0, 90.0), 180.0);
+  EXPECT_DOUBLE_EQ(angle_distance_deg(170.0, -170.0), 20.0);
+}
+
+TEST(AngleDistance, Symmetric) {
+  for (double a : {-150.0, -10.0, 45.0, 170.0})
+    for (double b : {-60.0, 0.0, 90.0})
+      EXPECT_DOUBLE_EQ(angle_distance_deg(a, b), angle_distance_deg(b, a));
+}
+
+TEST(IsFinite, DetectsSpecials) {
+  EXPECT_TRUE(is_finite(0.0));
+  EXPECT_TRUE(is_finite(-1e300));
+  EXPECT_FALSE(is_finite(kInf));
+  EXPECT_FALSE(is_finite(std::nan("")));
+}
+
+}  // namespace
+}  // namespace facsp

@@ -1,0 +1,128 @@
+#include "core/config_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.h"
+#include "core/paper.h"
+
+namespace facsp::core {
+namespace {
+
+TEST(ConfigIo, RoundTripPreservesEveryField) {
+  ScenarioConfig original = paper_scenario(123);
+  original.rings = 2;
+  original.cell_radius_m = 1750.0;
+  original.capacity_bu = 48.0;
+  original.background_traffic = true;
+  original.enable_mobility = false;
+  original.mobility_update_s = 2.5;
+  original.horizon_s = 7200.0;
+  original.traffic.arrival_window_s = 450.0;
+  original.traffic.mean_holding_s = 210.0;
+  original.traffic.mix = cellular::TrafficMix{0.6, 0.25, 0.15};
+  original.traffic.min_speed_kmh = 5.0;
+  original.traffic.max_speed_kmh = 90.0;
+  original.traffic.fixed_speed_kmh = 42.0;
+  original.traffic.fixed_angle_deg = -30.0;
+  original.mobility.base_sigma_deg = 37.0;
+  original.predictor.reference_kmh = 25.0;
+
+  const ScenarioConfig parsed =
+      scenario_from_string(scenario_to_string(original));
+
+  EXPECT_EQ(parsed.seed, original.seed);
+  EXPECT_EQ(parsed.rings, original.rings);
+  EXPECT_DOUBLE_EQ(parsed.cell_radius_m, original.cell_radius_m);
+  EXPECT_DOUBLE_EQ(parsed.capacity_bu, original.capacity_bu);
+  EXPECT_EQ(parsed.background_traffic, original.background_traffic);
+  EXPECT_EQ(parsed.enable_mobility, original.enable_mobility);
+  EXPECT_DOUBLE_EQ(parsed.mobility_update_s, original.mobility_update_s);
+  EXPECT_DOUBLE_EQ(parsed.horizon_s, original.horizon_s);
+  EXPECT_DOUBLE_EQ(parsed.traffic.arrival_window_s,
+                   original.traffic.arrival_window_s);
+  EXPECT_DOUBLE_EQ(parsed.traffic.mean_holding_s,
+                   original.traffic.mean_holding_s);
+  EXPECT_DOUBLE_EQ(parsed.traffic.mix.text, original.traffic.mix.text);
+  EXPECT_DOUBLE_EQ(parsed.traffic.mix.voice, original.traffic.mix.voice);
+  EXPECT_DOUBLE_EQ(parsed.traffic.mix.video, original.traffic.mix.video);
+  ASSERT_TRUE(parsed.traffic.fixed_speed_kmh.has_value());
+  EXPECT_DOUBLE_EQ(*parsed.traffic.fixed_speed_kmh, 42.0);
+  ASSERT_TRUE(parsed.traffic.fixed_angle_deg.has_value());
+  EXPECT_DOUBLE_EQ(*parsed.traffic.fixed_angle_deg, -30.0);
+  EXPECT_DOUBLE_EQ(parsed.mobility.base_sigma_deg, 37.0);
+  EXPECT_DOUBLE_EQ(parsed.predictor.reference_kmh, 25.0);
+}
+
+TEST(ConfigIo, DefaultsWhenKeysOmitted) {
+  const ScenarioConfig parsed = scenario_from_string("seed = 9\n");
+  const ScenarioConfig defaults;
+  EXPECT_EQ(parsed.seed, 9u);
+  EXPECT_EQ(parsed.rings, defaults.rings);
+  EXPECT_DOUBLE_EQ(parsed.capacity_bu, defaults.capacity_bu);
+}
+
+TEST(ConfigIo, CommentsAndBlankLines) {
+  const auto parsed = scenario_from_string(R"(
+# a comment
+seed = 4     # trailing comment
+
+capacity_bu = 20
+)");
+  EXPECT_EQ(parsed.seed, 4u);
+  EXPECT_DOUBLE_EQ(parsed.capacity_bu, 20.0);
+}
+
+TEST(ConfigIo, NoneClearsOptionalFields) {
+  const auto parsed = scenario_from_string(
+      "traffic.fixed_speed_kmh = 50\ntraffic.fixed_speed_kmh = none\n");
+  EXPECT_FALSE(parsed.traffic.fixed_speed_kmh.has_value());
+}
+
+TEST(ConfigIo, UnknownKeyIsAnError) {
+  try {
+    scenario_from_string("sede = 4\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(std::string(e.what()).find("sede"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, BadValueIsAnErrorWithLine) {
+  try {
+    scenario_from_string("seed = 1\ncapacity_bu = fast\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(ConfigIo, MissingEqualsIsAnError) {
+  EXPECT_THROW(scenario_from_string("seed 4\n"), ParseError);
+}
+
+TEST(ConfigIo, SemanticValidationApplies) {
+  // Parses fine, but the mix does not sum to 1 -> ConfigError from
+  // validate().
+  EXPECT_THROW(scenario_from_string("traffic.mix.text = 0.9\n"), ConfigError);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  const std::string path = "/tmp/facsp_scenario_test.cfg";
+  ScenarioConfig original = paper_scenario(55);
+  original.capacity_bu = 33.0;
+  save_scenario_file(original, path);
+  const ScenarioConfig loaded = load_scenario_file(path);
+  EXPECT_EQ(loaded.seed, 55u);
+  EXPECT_DOUBLE_EQ(loaded.capacity_bu, 33.0);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(load_scenario_file("/nonexistent/facsp.cfg"), Error);
+}
+
+}  // namespace
+}  // namespace facsp::core

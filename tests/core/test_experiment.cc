@@ -1,0 +1,111 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/paper.h"
+
+namespace facsp::core {
+namespace {
+
+ScenarioConfig quick_scenario() {
+  ScenarioConfig s = paper_scenario(3);
+  s.traffic.arrival_window_s = 300.0;
+  s.traffic.mean_holding_s = 120.0;
+  return s;
+}
+
+TEST(SweepConfig, PaperGridIs10To100) {
+  const auto sweep = SweepConfig::paper_grid(5);
+  ASSERT_EQ(sweep.n_values.size(), 10u);
+  EXPECT_EQ(sweep.n_values.front(), 10);
+  EXPECT_EQ(sweep.n_values.back(), 100);
+  EXPECT_EQ(sweep.replications, 5);
+}
+
+TEST(Experiment, RunSingleProducesMetrics) {
+  Experiment exp(quick_scenario(), make_complete_sharing_factory(), "CS");
+  const RunResult r = exp.run_single(20, 0);
+  EXPECT_EQ(r.metrics.offered_new(), 20u);
+}
+
+TEST(Experiment, SweepAggregatesAllPoints) {
+  SweepConfig sweep;
+  sweep.n_values = {5, 15};
+  sweep.replications = 4;
+  Experiment exp(quick_scenario(), make_complete_sharing_factory(), "CS");
+  const SweepResult res = exp.run(sweep);
+  EXPECT_EQ(res.policy_name, "CS");
+  ASSERT_EQ(res.points.size(), 2u);
+  EXPECT_EQ(res.points[0].n, 5);
+  EXPECT_EQ(res.points[1].n, 15);
+  EXPECT_EQ(res.points[0].acceptance_percent.count(), 4u);
+  // Acceptance is a percentage.
+  EXPECT_GE(res.points[0].acceptance_percent.mean(), 0.0);
+  EXPECT_LE(res.points[0].acceptance_percent.mean(), 100.0);
+}
+
+TEST(Experiment, SeriesCarriesCi) {
+  SweepConfig sweep;
+  sweep.n_values = {10};
+  sweep.replications = 6;
+  Experiment exp(quick_scenario(), make_complete_sharing_factory(), "CS");
+  const auto series = exp.run(sweep).acceptance_series(0.95);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.x(0), 10.0);
+  EXPECT_TRUE(series.ci(0).has_value());
+}
+
+TEST(Experiment, CommonRandomNumbersAcrossPolicies) {
+  // The same (seed, replication) produces the same workload for different
+  // policies: complete sharing and a zero-guard guard channel are
+  // decision-identical, so their metrics must match exactly.
+  const auto scen = quick_scenario();
+  Experiment cs(scen, make_complete_sharing_factory(), "CS");
+  Experiment gc0(scen, make_guard_channel_factory(0.0), "GC0");
+  const RunResult a = cs.run_single(30, 2);
+  const RunResult b = gc0.run_single(30, 2);
+  EXPECT_EQ(a.metrics.accepted_new(), b.metrics.accepted_new());
+  EXPECT_EQ(a.metrics.handoff_attempts(), b.metrics.handoff_attempts());
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Experiment, AllCanonicalFactoriesProduceWorkingPolicies) {
+  const auto scen = quick_scenario();
+  const std::vector<std::pair<const char*, PolicyFactory>> factories = {
+      {"FACS-P", make_facs_p_factory()},
+      {"FACS", make_facs_factory()},
+      {"SCC", make_scc_factory()},
+      {"GC", make_guard_channel_factory(4.0)},
+      {"FGC", make_fractional_guard_factory(4.0)},
+      {"CS", make_complete_sharing_factory()},
+  };
+  for (const auto& [name, factory] : factories) {
+    Experiment exp(scen, factory, name);
+    const RunResult r = exp.run_single(15, 0);
+    EXPECT_EQ(r.metrics.offered_new(), 15u) << name;
+    EXPECT_LE(r.metrics.accepted_new(), 15u) << name;
+  }
+}
+
+TEST(Experiment, InvalidSweepRejected) {
+  Experiment exp(quick_scenario(), make_complete_sharing_factory(), "CS");
+  SweepConfig empty;
+  EXPECT_THROW(exp.run(empty), ContractViolation);
+  SweepConfig zero_reps;
+  zero_reps.n_values = {10};
+  zero_reps.replications = 0;
+  EXPECT_THROW(exp.run(zero_reps), ContractViolation);
+}
+
+TEST(Experiment, FacsFactoryResolvesCellRadiusFromNetwork) {
+  // Default FacsConfig leaves cell_radius_m = 0 (auto); the factory must
+  // fill it from the scenario's network instead of failing.
+  auto scen = quick_scenario();
+  scen.cell_radius_m = 1234.0;
+  Experiment exp(scen, make_facs_factory(), "FACS");
+  EXPECT_NO_THROW(exp.run_single(5, 0));
+}
+
+}  // namespace
+}  // namespace facsp::core

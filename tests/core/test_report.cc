@@ -1,0 +1,103 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace facsp::core {
+namespace {
+
+sim::Series make_series(const std::string& name,
+                        std::initializer_list<std::pair<double, double>> pts) {
+  sim::Series s(name);
+  for (const auto& [x, y] : pts) s.add(x, y);
+  return s;
+}
+
+TEST(Crossover, DetectsFirstCrossing) {
+  const auto a = make_series("a", {{10, 95}, {20, 90}, {30, 80}, {40, 60}});
+  const auto b = make_series("b", {{10, 90}, {20, 88}, {30, 85}, {40, 82}});
+  const auto x = crossover_x(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ(*x, 30.0);
+}
+
+TEST(Crossover, NoneWhenAlwaysAbove) {
+  const auto a = make_series("a", {{10, 95}, {20, 94}});
+  const auto b = make_series("b", {{10, 90}, {20, 89}});
+  EXPECT_FALSE(crossover_x(a, b).has_value());
+}
+
+TEST(Crossover, NoneWhenAlwaysBelow) {
+  const auto a = make_series("a", {{10, 80}, {20, 70}});
+  const auto b = make_series("b", {{10, 90}, {20, 89}});
+  EXPECT_FALSE(crossover_x(a, b).has_value());
+}
+
+TEST(Crossover, HandlesDifferentGrids) {
+  const auto a = make_series("a", {{10, 95}, {30, 70}});
+  const auto b = make_series("b", {{10, 90}, {20, 88}, {30, 85}});
+  const auto x = crossover_x(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ(*x, 30.0);
+}
+
+TEST(NonIncreasing, DetectsMonotonicity) {
+  EXPECT_TRUE(is_non_increasing(
+      make_series("m", {{1, 100}, {2, 90}, {3, 90}, {4, 85}})));
+  EXPECT_FALSE(is_non_increasing(
+      make_series("m", {{1, 100}, {2, 90}, {3, 95}})));
+  // Slack tolerates simulation noise.
+  EXPECT_TRUE(is_non_increasing(
+      make_series("m", {{1, 100}, {2, 90}, {3, 91}}), 2.0));
+}
+
+TEST(OrderedAt, ChecksSeriesOrderingAtProbe) {
+  const auto s1 = make_series("4kmh", {{50, 40}});
+  const auto s2 = make_series("30kmh", {{50, 60}});
+  const auto s3 = make_series("60kmh", {{50, 80}});
+  EXPECT_TRUE(ordered_at({&s1, &s2, &s3}, 50.0));
+  EXPECT_FALSE(ordered_at({&s3, &s2, &s1}, 50.0));
+  // Slack admits small inversions.
+  const auto s2b = make_series("x", {{50, 59.5}});
+  EXPECT_TRUE(ordered_at({&s2, &s2b, &s3}, 50.0, 1.0));
+}
+
+TEST(MeanY, AveragesSeries) {
+  EXPECT_DOUBLE_EQ(mean_y(make_series("m", {{1, 10}, {2, 20}, {3, 30}})),
+                   20.0);
+}
+
+TEST(WriteCsv, RoundTripsThroughFile) {
+  sim::Figure fig("t", "N", "pct");
+  fig.add_series("a").add(1.0, 2.0);
+  const std::string path = "/tmp/facsp_test_fig.csv";
+  write_csv(fig, path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "N,a\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsv, BadPathThrows) {
+  sim::Figure fig("t", "x", "y");
+  EXPECT_THROW(write_csv(fig, "/nonexistent_dir_xyz/f.csv"), Error);
+}
+
+TEST(ShapeChecks, PrintFormat) {
+  std::ostringstream os;
+  print_shape_checks(os, {{"first check", true, "ok"},
+                          {"second check", false, ""}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[PASS] first check"), std::string::npos);
+  EXPECT_NE(out.find("[FAIL] second check"), std::string::npos);
+  EXPECT_NE(out.find("(ok)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace facsp::core

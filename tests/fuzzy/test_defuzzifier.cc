@@ -1,0 +1,116 @@
+#include "fuzzy/defuzzifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fuzzy/builder.h"
+
+namespace facsp::fuzzy {
+namespace {
+
+struct DefuzzFixture : ::testing::Test {
+  // Symmetric three-term output over [-1, 1].
+  LinguisticVariable output = VariableBuilder("z", -1.0, 1.0)
+                                  .triangular("neg", -0.5, 0.5, 0.5)
+                                  .triangular("zero", 0.0, 0.5, 0.5)
+                                  .triangular("pos", 0.5, 0.5, 0.5)
+                                  .build();
+
+  OutputFuzzySet activate(std::vector<double> acts) {
+    OutputFuzzySet s;
+    s.activations = std::move(acts);
+    return s;
+  }
+};
+
+TEST_F(DefuzzFixture, CentroidOfSingleSymmetricTerm) {
+  const Defuzzifier d(DefuzzMethod::kCentroid, 2048);
+  EXPECT_NEAR(d.defuzzify(activate({1.0, 0.0, 0.0}), output), -0.5, 1e-3);
+  EXPECT_NEAR(d.defuzzify(activate({0.0, 1.0, 0.0}), output), 0.0, 1e-3);
+  EXPECT_NEAR(d.defuzzify(activate({0.0, 0.0, 1.0}), output), 0.5, 1e-3);
+}
+
+TEST_F(DefuzzFixture, CentroidOfBalancedMixIsZero) {
+  const Defuzzifier d(DefuzzMethod::kCentroid, 2048);
+  EXPECT_NEAR(d.defuzzify(activate({0.7, 0.0, 0.7}), output), 0.0, 1e-3);
+}
+
+TEST_F(DefuzzFixture, CentroidShiftsTowardStrongerTerm) {
+  const Defuzzifier d(DefuzzMethod::kCentroid, 2048);
+  const double toward_pos = d.defuzzify(activate({0.2, 0.0, 0.8}), output);
+  EXPECT_GT(toward_pos, 0.15);
+  EXPECT_LT(toward_pos, 0.5);
+}
+
+TEST_F(DefuzzFixture, EmptySetGivesUniverseMidpoint) {
+  const Defuzzifier d;
+  EXPECT_DOUBLE_EQ(d.defuzzify(activate({0.0, 0.0, 0.0}), output), 0.0);
+}
+
+TEST_F(DefuzzFixture, BisectorMatchesCentroidOnSymmetricSets) {
+  const Defuzzifier c(DefuzzMethod::kCentroid, 4096);
+  const Defuzzifier b(DefuzzMethod::kBisector, 4096);
+  const auto set = activate({0.0, 1.0, 0.0});
+  EXPECT_NEAR(b.defuzzify(set, output), c.defuzzify(set, output), 5e-3);
+}
+
+TEST_F(DefuzzFixture, MeanOfMaximumPicksPlateauCenter) {
+  const Defuzzifier mom(DefuzzMethod::kMeanOfMaximum, 4096);
+  // Clipping 'pos' at 0.6 gives a plateau centred at its peak 0.5.
+  EXPECT_NEAR(mom.defuzzify(activate({0.0, 0.0, 0.6}), output), 0.5, 5e-3);
+}
+
+TEST_F(DefuzzFixture, SmallestAndLargestOfMaximumBracketMean) {
+  const auto set = activate({0.0, 0.0, 0.6});
+  const Defuzzifier som(DefuzzMethod::kSmallestOfMaximum, 4096);
+  const Defuzzifier lom(DefuzzMethod::kLargestOfMaximum, 4096);
+  const Defuzzifier mom(DefuzzMethod::kMeanOfMaximum, 4096);
+  const double lo = som.defuzzify(set, output);
+  const double hi = lom.defuzzify(set, output);
+  const double mid = mom.defuzzify(set, output);
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+  // Plateau of 'pos' clipped at 0.6: from 0.5-0.2 to 0.5+0.2.
+  EXPECT_NEAR(lo, 0.3, 5e-3);
+  EXPECT_NEAR(hi, 0.7, 5e-3);
+}
+
+TEST_F(DefuzzFixture, WeightedAverageUsesCoreCenters) {
+  const Defuzzifier w(DefuzzMethod::kWeightedAverage);
+  EXPECT_NEAR(w.defuzzify(activate({0.0, 0.25, 0.75}), output),
+              (0.25 * 0.0 + 0.75 * 0.5) / 1.0, 1e-9);
+}
+
+TEST_F(DefuzzFixture, ResultAlwaysInsideUniverse) {
+  for (auto method :
+       {DefuzzMethod::kCentroid, DefuzzMethod::kBisector,
+        DefuzzMethod::kMeanOfMaximum, DefuzzMethod::kSmallestOfMaximum,
+        DefuzzMethod::kLargestOfMaximum, DefuzzMethod::kWeightedAverage}) {
+    const Defuzzifier d(method, 512);
+    for (double a = 0.0; a <= 1.0; a += 0.25) {
+      for (double b = 0.0; b <= 1.0; b += 0.25) {
+        const double y = d.defuzzify(activate({a, 0.1, b}), output);
+        EXPECT_GE(y, output.universe_lo()) << to_string(method);
+        EXPECT_LE(y, output.universe_hi()) << to_string(method);
+      }
+    }
+  }
+}
+
+TEST_F(DefuzzFixture, ResolutionValidation) {
+  EXPECT_THROW(Defuzzifier(DefuzzMethod::kCentroid, 4), ConfigError);
+  EXPECT_NO_THROW(Defuzzifier(DefuzzMethod::kCentroid, 8));
+}
+
+TEST(DefuzzMethodNames, RoundTrip) {
+  for (auto m :
+       {DefuzzMethod::kCentroid, DefuzzMethod::kBisector,
+        DefuzzMethod::kMeanOfMaximum, DefuzzMethod::kSmallestOfMaximum,
+        DefuzzMethod::kLargestOfMaximum, DefuzzMethod::kWeightedAverage}) {
+    EXPECT_EQ(defuzz_method_from_string(to_string(m)), m);
+  }
+  EXPECT_THROW(defuzz_method_from_string("nonsense"), facsp::ConfigError);
+}
+
+}  // namespace
+}  // namespace facsp::fuzzy

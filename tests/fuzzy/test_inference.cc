@@ -1,0 +1,169 @@
+#include "fuzzy/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+#include "fuzzy/builder.h"
+#include "fuzzy/rule_parser.h"
+
+namespace facsp::fuzzy {
+namespace {
+
+struct InferenceFixture : ::testing::Test {
+  std::vector<LinguisticVariable> inputs;
+  LinguisticVariable output = VariableBuilder("z", 0.0, 1.0)
+                                  .left_shoulder("small", 0.25, 0.5)
+                                  .triangular("mid", 0.5, 0.25, 0.25)
+                                  .right_shoulder("large", 0.75, 0.5)
+                                  .build();
+
+  InferenceFixture() {
+    inputs.push_back(VariableBuilder("x", 0.0, 10.0)
+                         .left_shoulder("lo", 0.0, 10.0)
+                         .right_shoulder("hi", 10.0, 10.0)
+                         .build());
+    inputs.push_back(VariableBuilder("y", 0.0, 10.0)
+                         .left_shoulder("lo", 0.0, 10.0)
+                         .right_shoulder("hi", 10.0, 10.0)
+                         .build());
+  }
+
+  std::vector<FuzzyRule> rules(const std::vector<std::string>& texts) {
+    std::vector<FuzzyRule> out;
+    for (const auto& t : texts) out.push_back(parse_rule(t, inputs, output));
+    return out;
+  }
+};
+
+TEST_F(InferenceFixture, MinTNormFiringStrength) {
+  const auto rs = rules({"IF x is lo AND y is lo THEN z is small"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  // x=2 -> mu_lo = 0.8; y=5 -> mu_lo = 0.5; min = 0.5.
+  const auto res = engine.infer(std::vector<double>{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(res.activations[0], 0.5);
+  EXPECT_DOUBLE_EQ(res.activations[1], 0.0);
+  EXPECT_DOUBLE_EQ(res.activations[2], 0.0);
+}
+
+TEST_F(InferenceFixture, ProductTNorm) {
+  const auto rs = rules({"IF x is lo AND y is lo THEN z is small"});
+  const RuleBase rb(rs, inputs, output);
+  InferenceOptions opt;
+  opt.t_norm = TNorm::kProduct;
+  const InferenceEngine engine(inputs, output, rb, opt);
+  const auto res = engine.infer(std::vector<double>{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(res.activations[0], 0.8 * 0.5);
+}
+
+TEST_F(InferenceFixture, MaxSNormAggregatesSameConsequent) {
+  const auto rs = rules({"IF x is lo THEN z is small",
+                         "IF y is lo THEN z is small"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  // mu_lo(x=2)=0.8, mu_lo(y=6)=0.4 -> max 0.8.
+  const auto res = engine.infer(std::vector<double>{2.0, 6.0});
+  EXPECT_DOUBLE_EQ(res.activations[0], 0.8);
+}
+
+TEST_F(InferenceFixture, ProbabilisticSumSNorm) {
+  const auto rs = rules({"IF x is lo THEN z is small",
+                         "IF y is lo THEN z is small"});
+  const RuleBase rb(rs, inputs, output);
+  InferenceOptions opt;
+  opt.s_norm = SNorm::kProbabilisticSum;
+  const InferenceEngine engine(inputs, output, rb, opt);
+  const auto res = engine.infer(std::vector<double>{2.0, 6.0});
+  EXPECT_DOUBLE_EQ(res.activations[0], 0.8 + 0.4 - 0.8 * 0.4);
+}
+
+TEST_F(InferenceFixture, BoundedSumSNorm) {
+  const auto rs = rules({"IF x is lo THEN z is small",
+                         "IF y is lo THEN z is small"});
+  const RuleBase rb(rs, inputs, output);
+  InferenceOptions opt;
+  opt.s_norm = SNorm::kBoundedSum;
+  const InferenceEngine engine(inputs, output, rb, opt);
+  const auto res = engine.infer(std::vector<double>{1.0, 2.0});  // 0.9 + 0.8
+  EXPECT_DOUBLE_EQ(res.activations[0], 1.0);
+}
+
+TEST_F(InferenceFixture, RuleWeightScalesStrength) {
+  auto rs = rules({"IF x is lo THEN z is small [0.5]"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  const auto res = engine.infer(std::vector<double>{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(res.activations[0], 0.5);
+}
+
+TEST_F(InferenceFixture, WildcardIgnoresThatInput) {
+  const auto rs = rules({"IF y is hi THEN z is large"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  for (double x : {0.0, 5.0, 10.0}) {
+    const auto res = engine.infer(std::vector<double>{x, 10.0});
+    EXPECT_DOUBLE_EQ(res.activations[2], 1.0) << "x=" << x;
+  }
+}
+
+TEST_F(InferenceFixture, NoRuleFiresGivesEmptySet) {
+  const auto rs = rules({"IF x is hi AND y is hi THEN z is large"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  const auto res = engine.infer(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(res.empty());
+  EXPECT_DOUBLE_EQ(res.height(), 0.0);
+}
+
+TEST_F(InferenceFixture, TracedReportsFiredRulesDescending) {
+  const auto rs = rules({"IF x is lo THEN z is small",
+                         "IF y is lo THEN z is mid",
+                         "IF x is hi THEN z is large"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  std::vector<FiredRule> fired;
+  engine.infer_traced(std::vector<double>{2.0, 4.0}, fired);
+  // x=2: lo=0.8, hi=0.2; y=4: lo=0.6.
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0].rule_index, 0u);
+  EXPECT_DOUBLE_EQ(fired[0].strength, 0.8);
+  EXPECT_EQ(fired[1].rule_index, 1u);
+  EXPECT_DOUBLE_EQ(fired[1].strength, 0.6);
+  EXPECT_EQ(fired[2].rule_index, 2u);
+  EXPECT_DOUBLE_EQ(fired[2].strength, 0.2);
+}
+
+TEST_F(InferenceFixture, OutputSetGradeMinImplication) {
+  const auto rs = rules({"IF x is lo THEN z is large"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  const auto res = engine.infer(std::vector<double>{2.0, 0.0});  // act 0.8
+  // large is right_shoulder(0.75, 0.5): mu(1.0) = 1 -> clipped to 0.8.
+  EXPECT_DOUBLE_EQ(res.grade(output, 1.0), 0.8);
+  // At 0.5, mu_large = 0.5 -> min(0.8, 0.5) = 0.5.
+  EXPECT_DOUBLE_EQ(res.grade(output, 0.5), 0.5);
+}
+
+TEST_F(InferenceFixture, OutputSetGradeProductImplication) {
+  const auto rs = rules({"IF x is lo THEN z is large"});
+  const RuleBase rb(rs, inputs, output);
+  InferenceOptions opt;
+  opt.implication = Implication::kProduct;
+  const InferenceEngine engine(inputs, output, rb, opt);
+  const auto res = engine.infer(std::vector<double>{2.0, 0.0});  // act 0.8
+  EXPECT_DOUBLE_EQ(res.grade(output, 0.5), 0.8 * 0.5);
+}
+
+TEST_F(InferenceFixture, WrongInputArityThrows) {
+  const auto rs = rules({"IF x is lo THEN z is small"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  EXPECT_THROW(engine.infer(std::vector<double>{1.0}),
+               facsp::ContractViolation);
+  EXPECT_THROW(engine.infer(std::vector<double>{1.0, 2.0, 3.0}),
+               facsp::ContractViolation);
+}
+
+}  // namespace
+}  // namespace facsp::fuzzy

@@ -1,0 +1,124 @@
+#include "fuzzy/rule_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fuzzy/builder.h"
+
+namespace facsp::fuzzy {
+namespace {
+
+struct ParserFixture : ::testing::Test {
+  std::vector<LinguisticVariable> inputs;
+  LinguisticVariable output = VariableBuilder("z", 0.0, 1.0)
+                                  .left_shoulder("small", 0.0, 1.0)
+                                  .right_shoulder("large", 1.0, 1.0)
+                                  .build();
+
+  ParserFixture() {
+    inputs.push_back(VariableBuilder("x", 0.0, 1.0)
+                         .left_shoulder("lo", 0.0, 1.0)
+                         .right_shoulder("hi", 1.0, 1.0)
+                         .build());
+    inputs.push_back(VariableBuilder("y", 0.0, 1.0)
+                         .left_shoulder("lo", 0.0, 1.0)
+                         .right_shoulder("hi", 1.0, 1.0)
+                         .build());
+  }
+};
+
+TEST_F(ParserFixture, ParsesFullConjunction) {
+  const auto r = parse_rule("IF x is lo AND y is hi THEN z is large", inputs,
+                            output);
+  EXPECT_EQ(r.antecedents, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(r.consequent, 1u);
+  EXPECT_DOUBLE_EQ(r.weight, 1.0);
+}
+
+TEST_F(ParserFixture, OmittedVariableBecomesWildcard) {
+  const auto r = parse_rule("IF y is lo THEN z is small", inputs, output);
+  EXPECT_EQ(r.antecedents[0], FuzzyRule::kAny);
+  EXPECT_EQ(r.antecedents[1], 0u);
+}
+
+TEST_F(ParserFixture, ExplicitStarIsWildcard) {
+  const auto r =
+      parse_rule("IF x is * AND y is hi THEN z is large", inputs, output);
+  EXPECT_EQ(r.antecedents[0], FuzzyRule::kAny);
+}
+
+TEST_F(ParserFixture, VariablesInAnyOrder) {
+  const auto r =
+      parse_rule("IF y is hi AND x is lo THEN z is small", inputs, output);
+  EXPECT_EQ(r.antecedents, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST_F(ParserFixture, ParsesWeight) {
+  const auto r =
+      parse_rule("IF x is lo THEN z is small [0.75]", inputs, output);
+  EXPECT_DOUBLE_EQ(r.weight, 0.75);
+}
+
+TEST_F(ParserFixture, KeywordsAreCaseInsensitive) {
+  EXPECT_NO_THROW(
+      parse_rule("if x IS lo and y is hi then z is large", inputs, output));
+}
+
+TEST_F(ParserFixture, TermNamesAreCaseSensitive) {
+  EXPECT_THROW(parse_rule("IF x is LO THEN z is small", inputs, output),
+               ConfigError);
+}
+
+TEST_F(ParserFixture, SyntaxErrors) {
+  EXPECT_THROW(parse_rule("x is lo THEN z is small", inputs, output),
+               ParseError);
+  EXPECT_THROW(parse_rule("IF x is lo", inputs, output), ParseError);
+  EXPECT_THROW(parse_rule("IF x is lo THEN z small", inputs, output),
+               ParseError);
+  EXPECT_THROW(parse_rule("IF x lo THEN z is small", inputs, output),
+               ParseError);
+  EXPECT_THROW(
+      parse_rule("IF x is lo THEN z is small [bad]", inputs, output),
+      ParseError);
+  EXPECT_THROW(
+      parse_rule("IF x is lo THEN z is small trailing", inputs, output),
+      ParseError);
+}
+
+TEST_F(ParserFixture, SemanticErrors) {
+  EXPECT_THROW(parse_rule("IF q is lo THEN z is small", inputs, output),
+               ConfigError);
+  EXPECT_THROW(parse_rule("IF x is lo THEN q is small", inputs, output),
+               ConfigError);
+  EXPECT_THROW(parse_rule("IF x is zz THEN z is small", inputs, output),
+               ConfigError);
+  EXPECT_THROW(
+      parse_rule("IF x is lo AND x is hi THEN z is small", inputs, output),
+      ParseError);
+}
+
+TEST_F(ParserFixture, ParsesMultiLineFileWithComments) {
+  const std::string text = R"(
+# FRB for the demo controller
+IF x is lo AND y is lo THEN z is small
+
+IF x is hi THEN z is large   # shoulder rule
+)";
+  const auto rules = parse_rules(text, inputs, output);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].consequent, 0u);
+  EXPECT_EQ(rules[1].consequent, 1u);
+}
+
+TEST_F(ParserFixture, FileErrorsCarryLineNumbers) {
+  const std::string text = "IF x is lo THEN z is small\nIF x is THEN z\n";
+  try {
+    parse_rules(text, inputs, output);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace facsp::fuzzy

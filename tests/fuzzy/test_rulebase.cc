@@ -1,0 +1,159 @@
+#include "fuzzy/rulebase.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fuzzy/builder.h"
+
+namespace facsp::fuzzy {
+namespace {
+
+std::vector<LinguisticVariable> two_inputs() {
+  std::vector<LinguisticVariable> v;
+  v.push_back(VariableBuilder("x", 0.0, 1.0)
+                  .left_shoulder("lo", 0.0, 1.0)
+                  .right_shoulder("hi", 1.0, 1.0)
+                  .build());
+  v.push_back(VariableBuilder("y", 0.0, 1.0)
+                  .left_shoulder("lo", 0.0, 1.0)
+                  .triangular("mid", 0.5, 0.5, 0.5)
+                  .right_shoulder("hi", 1.0, 1.0)
+                  .build());
+  return v;
+}
+
+LinguisticVariable out_var() {
+  return VariableBuilder("z", 0.0, 1.0)
+      .left_shoulder("small", 0.0, 1.0)
+      .right_shoulder("large", 1.0, 1.0)
+      .build();
+}
+
+FuzzyRule rule(std::vector<std::size_t> ants, std::size_t cons,
+               double w = 1.0) {
+  FuzzyRule r;
+  r.antecedents = std::move(ants);
+  r.consequent = cons;
+  r.weight = w;
+  return r;
+}
+
+TEST(RuleBase, ValidatesArity) {
+  const auto inputs = two_inputs();
+  EXPECT_THROW(RuleBase({rule({0}, 0)}, inputs, out_var()), ConfigError);
+  EXPECT_NO_THROW(RuleBase({rule({0, 1}, 0)}, inputs, out_var()));
+}
+
+TEST(RuleBase, ValidatesTermIndices) {
+  const auto inputs = two_inputs();
+  EXPECT_THROW(RuleBase({rule({2, 0}, 0)}, inputs, out_var()), ConfigError);
+  EXPECT_THROW(RuleBase({rule({0, 3}, 0)}, inputs, out_var()), ConfigError);
+  EXPECT_THROW(RuleBase({rule({0, 0}, 2)}, inputs, out_var()), ConfigError);
+}
+
+TEST(RuleBase, ValidatesWeight) {
+  const auto inputs = two_inputs();
+  EXPECT_THROW(RuleBase({rule({0, 0}, 0, 0.0)}, inputs, out_var()),
+               ConfigError);
+  EXPECT_THROW(RuleBase({rule({0, 0}, 0, 1.5)}, inputs, out_var()),
+               ConfigError);
+  EXPECT_NO_THROW(RuleBase({rule({0, 0}, 0, 0.5)}, inputs, out_var()));
+}
+
+TEST(RuleBase, WildcardAntecedentAllowed) {
+  const auto inputs = two_inputs();
+  EXPECT_NO_THROW(
+      RuleBase({rule({FuzzyRule::kAny, 1}, 0)}, inputs, out_var()));
+}
+
+TEST(RuleBase, CombinationCount) {
+  const auto inputs = two_inputs();
+  const RuleBase rb({rule({0, 0}, 0)}, inputs, out_var());
+  EXPECT_EQ(rb.combination_count(), 6u);  // 2 * 3
+}
+
+TEST(RuleBase, CompletenessDetection) {
+  const auto inputs = two_inputs();
+  std::vector<FuzzyRule> all;
+  for (std::size_t a = 0; a < 2; ++a)
+    for (std::size_t b = 0; b < 3; ++b) all.push_back(rule({a, b}, 0));
+  EXPECT_TRUE(RuleBase(all, inputs, out_var()).is_complete());
+
+  all.pop_back();
+  EXPECT_FALSE(RuleBase(all, inputs, out_var()).is_complete());
+}
+
+TEST(RuleBase, WildcardMakesComplete) {
+  const auto inputs = two_inputs();
+  // One rule per x-term with wildcard y covers everything.
+  const RuleBase rb({rule({0, FuzzyRule::kAny}, 0),
+                     rule({1, FuzzyRule::kAny}, 1)},
+                    inputs, out_var());
+  EXPECT_TRUE(rb.is_complete());
+}
+
+TEST(RuleBase, ConflictDetection) {
+  const auto inputs = two_inputs();
+  const RuleBase clean({rule({0, 0}, 0), rule({0, 1}, 1)}, inputs, out_var());
+  EXPECT_TRUE(clean.conflicts().empty());
+
+  const RuleBase dirty({rule({0, 0}, 0), rule({0, 0}, 1)}, inputs, out_var());
+  const auto conflicts = dirty.conflicts();
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+}
+
+TEST(RuleBase, DuplicateSameConsequentIsNotConflict) {
+  const auto inputs = two_inputs();
+  const RuleBase rb({rule({0, 0}, 1), rule({0, 0}, 1)}, inputs, out_var());
+  EXPECT_TRUE(rb.conflicts().empty());
+}
+
+TEST(RuleBase, FromTableBuildsLastInputFastest) {
+  const auto inputs = two_inputs();
+  const auto output = out_var();
+  // 6 combos: (x=lo,y=lo), (lo,mid), (lo,hi), (hi,lo), (hi,mid), (hi,hi).
+  const RuleBase rb = RuleBase::from_table(
+      inputs, output, {"small", "small", "large", "small", "large", "large"});
+  ASSERT_EQ(rb.size(), 6u);
+  EXPECT_TRUE(rb.is_complete());
+  EXPECT_TRUE(rb.conflicts().empty());
+  // Row 2 is (x=lo, y=hi) -> large.
+  EXPECT_EQ(rb.rule(2).antecedents, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(rb.rule(2).consequent, output.term_index("large"));
+  // Row 3 is (x=hi, y=lo) -> small.
+  EXPECT_EQ(rb.rule(3).antecedents, (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(rb.rule(3).consequent, output.term_index("small"));
+}
+
+TEST(RuleBase, FromTableRejectsWrongSize) {
+  const auto inputs = two_inputs();
+  EXPECT_THROW(RuleBase::from_table(inputs, out_var(), {"small"}),
+               ConfigError);
+}
+
+TEST(RuleBase, FromTableRejectsUnknownTerm) {
+  const auto inputs = two_inputs();
+  EXPECT_THROW(
+      RuleBase::from_table(inputs, out_var(),
+                           {"small", "small", "nope", "small", "large",
+                            "large"}),
+      ConfigError);
+}
+
+TEST(RuleToString, RendersReadableForm) {
+  const auto inputs = two_inputs();
+  const auto output = out_var();
+  const std::string s = to_string(rule({0, 2}, 1), inputs, output);
+  EXPECT_EQ(s, "IF x is lo AND y is hi THEN z is large");
+
+  const std::string with_wildcard =
+      to_string(rule({FuzzyRule::kAny, 1}, 0), inputs, output);
+  EXPECT_EQ(with_wildcard, "IF y is mid THEN z is small");
+
+  const std::string weighted = to_string(rule({0, 0}, 0, 0.5), inputs, output);
+  EXPECT_NE(weighted.find("[0.5]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace facsp::fuzzy

@@ -1,0 +1,144 @@
+#include "fuzzy/sugeno.h"
+
+#include <gtest/gtest.h>
+
+#include "cac/facs_flc.h"
+#include "common/error.h"
+#include "fuzzy/builder.h"
+
+namespace facsp::fuzzy {
+namespace {
+
+std::vector<LinguisticVariable> one_input() {
+  std::vector<LinguisticVariable> v;
+  v.push_back(VariableBuilder("x", 0.0, 10.0)
+                  .left_shoulder("lo", 0.0, 10.0)
+                  .right_shoulder("hi", 10.0, 10.0)
+                  .build());
+  return v;
+}
+
+TEST(Sugeno, ZeroOrderWeightedAverage) {
+  std::vector<SugenoRule> rules(2);
+  rules[0].antecedents = {0};  // lo -> 0
+  rules[0].constant = 0.0;
+  rules[1].antecedents = {1};  // hi -> 10
+  rules[1].constant = 10.0;
+  SugenoController c("wavg", one_input(), rules);
+  EXPECT_NEAR(c.evaluate({0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(c.evaluate({10.0}), 10.0, 1e-12);
+  // mu_lo(2.5)=0.75, mu_hi=0.25 -> 0.25*10 = 2.5: linear interpolation.
+  EXPECT_NEAR(c.evaluate({2.5}), 2.5, 1e-12);
+  EXPECT_NEAR(c.evaluate({5.0}), 5.0, 1e-12);
+}
+
+TEST(Sugeno, FirstOrderConsequent) {
+  std::vector<SugenoRule> rules(1);
+  rules[0].antecedents = {SugenoRule::kAny};
+  rules[0].constant = 1.0;
+  rules[0].coefficients = {2.0};  // z = 1 + 2x
+  SugenoController c("affine", one_input(), rules);
+  EXPECT_NEAR(c.evaluate({3.0}), 7.0, 1e-12);
+  EXPECT_NEAR(c.evaluate({0.0}), 1.0, 1e-12);
+}
+
+TEST(Sugeno, InputsClampedToUniverse) {
+  std::vector<SugenoRule> rules(1);
+  rules[0].antecedents = {SugenoRule::kAny};
+  rules[0].coefficients = {1.0};  // z = x
+  SugenoController c("clamp", one_input(), rules);
+  EXPECT_NEAR(c.evaluate({25.0}), 10.0, 1e-12);
+  EXPECT_NEAR(c.evaluate({-5.0}), 0.0, 1e-12);
+}
+
+TEST(Sugeno, RuleWeightScales) {
+  std::vector<SugenoRule> rules(2);
+  rules[0].antecedents = {SugenoRule::kAny};
+  rules[0].constant = 0.0;
+  rules[0].weight = 1.0;
+  rules[1].antecedents = {SugenoRule::kAny};
+  rules[1].constant = 10.0;
+  rules[1].weight = 0.25;
+  SugenoController c("weights", one_input(), rules);
+  // (1*0 + 0.25*10) / 1.25 = 2.
+  EXPECT_NEAR(c.evaluate({5.0}), 2.0, 1e-12);
+}
+
+TEST(Sugeno, NoFiringRuleGivesZero) {
+  auto inputs = one_input();
+  // A variable whose single term covers only part of the universe.
+  inputs[0] = VariableBuilder("x", 0.0, 10.0)
+                  .triangular("mid", 5.0, 1.0, 1.0)
+                  .build();
+  std::vector<SugenoRule> rules(1);
+  rules[0].antecedents = {0};
+  rules[0].constant = 42.0;
+  SugenoController c("gap", inputs, rules);
+  EXPECT_DOUBLE_EQ(c.evaluate({0.0}), 0.0);
+  EXPECT_NEAR(c.evaluate({5.0}), 42.0, 1e-12);
+}
+
+TEST(Sugeno, Validation) {
+  auto inputs = one_input();
+  std::vector<SugenoRule> ok(1);
+  ok[0].antecedents = {0};
+  EXPECT_THROW(SugenoController("s", {}, ok), ConfigError);
+  EXPECT_THROW(SugenoController("s", inputs, {}), ConfigError);
+
+  std::vector<SugenoRule> bad_arity(1);
+  bad_arity[0].antecedents = {0, 1};
+  EXPECT_THROW(SugenoController("s", inputs, bad_arity), ConfigError);
+
+  std::vector<SugenoRule> bad_term(1);
+  bad_term[0].antecedents = {5};
+  EXPECT_THROW(SugenoController("s", inputs, bad_term), ConfigError);
+
+  std::vector<SugenoRule> bad_coeffs(1);
+  bad_coeffs[0].antecedents = {0};
+  bad_coeffs[0].coefficients = {1.0, 2.0};
+  EXPECT_THROW(SugenoController("s", inputs, bad_coeffs), ConfigError);
+
+  std::vector<SugenoRule> bad_weight(1);
+  bad_weight[0].antecedents = {0};
+  bad_weight[0].weight = 0.0;
+  EXPECT_THROW(SugenoController("s", inputs, bad_weight), ConfigError);
+}
+
+TEST(Sugeno, WrongArityEvaluateThrows) {
+  std::vector<SugenoRule> rules(1);
+  rules[0].antecedents = {0};
+  SugenoController c("s", one_input(), rules);
+  EXPECT_THROW(c.evaluate({1.0, 2.0}), facsp::ContractViolation);
+}
+
+TEST(SugenoFlc2, TracksMamdaniFlc2Qualitatively) {
+  // The Sugeno restatement of Table 2 must agree with the Mamdani FLC2 on
+  // sign (accept/reject lean) across the operating space, and correlate
+  // strongly in value.
+  const auto mamdani = cac::make_flc2();
+  const auto sugeno = cac::make_sugeno_flc2();
+  int sign_agree = 0, total = 0;
+  for (double cv = 0.05; cv <= 1.0; cv += 0.13)
+    for (double rq : {1.0, 5.0, 10.0})
+      for (double cs = 0.0; cs <= 40.0; cs += 4.0) {
+        const double m = mamdani->evaluate({cv, rq, cs});
+        const double s = sugeno->evaluate({cv, rq, cs});
+        ++total;
+        // Treat near-zero as agreeing with anything (NRNA region).
+        if (std::abs(m) < 0.07 || std::abs(s) < 0.07 || (m > 0) == (s > 0))
+          ++sign_agree;
+        EXPECT_NEAR(m, s, 0.45) << "cv=" << cv << " rq=" << rq
+                                << " cs=" << cs;
+      }
+  EXPECT_GT(static_cast<double>(sign_agree) / total, 0.95);
+}
+
+TEST(SugenoFlc2, FasterPathSameDecisionsOnPaperPoints) {
+  const auto sugeno = cac::make_sugeno_flc2();
+  // Empty cell accepts; full cell rejects video.
+  EXPECT_GT(sugeno->evaluate({0.8, 5.0, 0.0}), 0.3);
+  EXPECT_LT(sugeno->evaluate({0.9, 10.0, 40.0}), -0.3);
+}
+
+}  // namespace
+}  // namespace facsp::fuzzy

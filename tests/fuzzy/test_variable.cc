@@ -1,0 +1,116 @@
+#include "fuzzy/variable.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "fuzzy/builder.h"
+
+namespace facsp::fuzzy {
+namespace {
+
+LinguisticVariable speed_variable() {
+  return VariableBuilder("Sp", 0.0, 120.0)
+      .left_shoulder("Sl", 0.0, 60.0)
+      .triangular("Mi", 60.0, 60.0, 60.0)
+      .right_shoulder("Fa", 120.0, 60.0)
+      .build();
+}
+
+TEST(Variable, BasicAccessors) {
+  const auto v = speed_variable();
+  EXPECT_EQ(v.name(), "Sp");
+  EXPECT_DOUBLE_EQ(v.universe_lo(), 0.0);
+  EXPECT_DOUBLE_EQ(v.universe_hi(), 120.0);
+  EXPECT_EQ(v.term_count(), 3u);
+  EXPECT_EQ(v.term(0).name, "Sl");
+  EXPECT_EQ(v.term(2).name, "Fa");
+}
+
+TEST(Variable, TermLookup) {
+  const auto v = speed_variable();
+  EXPECT_EQ(v.term_index("Mi"), 1u);
+  EXPECT_TRUE(v.has_term("Fa"));
+  EXPECT_FALSE(v.has_term("Zz"));
+  EXPECT_THROW(v.term_index("Zz"), ConfigError);
+}
+
+TEST(Variable, FuzzifyReturnsAllGrades) {
+  const auto v = speed_variable();
+  const auto g = v.fuzzify(30.0);
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g[0], 0.5);  // Sl falling
+  EXPECT_DOUBLE_EQ(g[1], 0.5);  // Mi rising
+  EXPECT_DOUBLE_EQ(g[2], 0.0);  // Fa not yet
+}
+
+TEST(Variable, FuzzifyClampsToUniverse) {
+  const auto v = speed_variable();
+  // 200 km/h clamps to 120 -> fully Fast.
+  const auto g = v.fuzzify(200.0);
+  EXPECT_DOUBLE_EQ(g[2], 1.0);
+  // Negative clamps to 0 -> fully Slow.
+  EXPECT_DOUBLE_EQ(v.fuzzify(-5.0)[0], 1.0);
+}
+
+TEST(Variable, SingleTermGrade) {
+  const auto v = speed_variable();
+  EXPECT_DOUBLE_EQ(v.grade(1, 60.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.grade(0, 60.0), 0.0);
+}
+
+TEST(Variable, BestTerm) {
+  const auto v = speed_variable();
+  EXPECT_EQ(v.best_term(5.0), 0u);
+  EXPECT_EQ(v.best_term(60.0), 1u);
+  EXPECT_EQ(v.best_term(119.0), 2u);
+}
+
+TEST(Variable, CoversUniverse) {
+  EXPECT_TRUE(speed_variable().covers_universe());
+  // A variable with a hole between terms does not cover.
+  const auto holey = VariableBuilder("H", 0.0, 10.0)
+                         .triangular("a", 1.0, 1.0, 1.0)
+                         .triangular("b", 9.0, 1.0, 1.0)
+                         .build();
+  EXPECT_FALSE(holey.covers_universe());
+}
+
+TEST(Variable, UniformPartitionCoversAndIsOrdered) {
+  const auto v =
+      VariableBuilder("Cv", 0.0, 1.0).uniform_partition("Cv", 9).build();
+  EXPECT_EQ(v.term_count(), 9u);
+  EXPECT_EQ(v.term(0).name, "Cv1");
+  EXPECT_EQ(v.term(8).name, "Cv9");
+  EXPECT_TRUE(v.covers_universe(0.45));  // adjacent terms overlap at 0.5
+  // Peak of term k sits at k/8.
+  EXPECT_DOUBLE_EQ(v.grade(4, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(v.grade(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.grade(8, 1.0), 1.0);
+}
+
+TEST(Variable, ValidationErrors) {
+  EXPECT_THROW(LinguisticVariable("", 0.0, 1.0,
+                                  {{"a", MembershipFunction::singleton(0)}}),
+               ConfigError);
+  EXPECT_THROW(LinguisticVariable("v", 1.0, 0.0,
+                                  {{"a", MembershipFunction::singleton(0)}}),
+               ConfigError);
+  EXPECT_THROW(LinguisticVariable("v", 0.0, 1.0, {}), ConfigError);
+  EXPECT_THROW(
+      LinguisticVariable("v", 0.0, 1.0,
+                         {{"a", MembershipFunction::singleton(0)},
+                          {"a", MembershipFunction::singleton(1)}}),
+      ConfigError);
+  EXPECT_THROW(LinguisticVariable("v", 0.0, 1.0,
+                                  {{"", MembershipFunction::singleton(0)}}),
+               ConfigError);
+}
+
+TEST(Variable, OutOfRangeTermIndexThrows) {
+  const auto v = speed_variable();
+  EXPECT_THROW(v.term(3), ContractViolation);
+  EXPECT_THROW(v.grade(7, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace facsp::fuzzy

@@ -1,0 +1,87 @@
+#include "sim/batch_means.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/rng.h"
+
+namespace facsp::sim {
+namespace {
+
+TEST(BatchMeans, BatchesCompleteAtBatchSize) {
+  BatchMeans bm(4);
+  for (int i = 0; i < 3; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batch_count(), 0u);
+  EXPECT_EQ(bm.pending(), 3u);
+  bm.add(1.0);
+  EXPECT_EQ(bm.batch_count(), 1u);
+  EXPECT_EQ(bm.pending(), 0u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, BatchMeanIsAverageOfBatch) {
+  BatchMeans bm(4);
+  bm.add(1.0);
+  bm.add(2.0);
+  bm.add(3.0);
+  bm.add(6.0);
+  EXPECT_DOUBLE_EQ(bm.mean(), 3.0);
+}
+
+TEST(BatchMeans, IncompleteBatchExcluded) {
+  BatchMeans bm(2);
+  bm.add(0.0);
+  bm.add(0.0);    // batch 1 mean 0
+  bm.add(100.0);  // pending — must not bias the mean
+  EXPECT_DOUBLE_EQ(bm.mean(), 0.0);
+}
+
+TEST(BatchMeans, MeanMatchesStreamMeanForIidInput) {
+  RandomStream rng(3);
+  BatchMeans bm(32);
+  double sum = 0.0;
+  const int n = 32 * 200;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    bm.add(x);
+    sum += x;
+  }
+  EXPECT_EQ(bm.batch_count(), 200u);
+  EXPECT_NEAR(bm.mean(), sum / n, 1e-12);
+}
+
+TEST(BatchMeans, WiderIntervalsForCorrelatedStreams) {
+  // An AR(1)-style positively correlated stream: per-observation CI is
+  // far too narrow; the batch-means CI (batch >> correlation length) must
+  // be wider.
+  RandomStream rng(7);
+  SummaryStats naive;
+  BatchMeans batched(64);
+  double state = 0.0;
+  for (int i = 0; i < 64 * 100; ++i) {
+    state = 0.95 * state + rng.normal(0.0, 1.0);
+    naive.add(state);
+    batched.add(state);
+  }
+  EXPECT_GT(batched.ci_half_width(0.95), 2.0 * naive.ci_half_width(0.95));
+}
+
+TEST(BatchMeans, SizeOneEqualsPlainStats) {
+  BatchMeans bm(1);
+  SummaryStats s;
+  for (double x : {1.0, 4.0, -2.0, 3.5}) {
+    bm.add(x);
+    s.add(x);
+  }
+  EXPECT_DOUBLE_EQ(bm.mean(), s.mean());
+  EXPECT_DOUBLE_EQ(bm.ci_half_width(), s.ci_half_width());
+}
+
+TEST(BatchMeans, ZeroBatchSizeRejected) {
+  EXPECT_THROW(BatchMeans(0), facsp::ConfigError);
+}
+
+}  // namespace
+}  // namespace facsp::sim

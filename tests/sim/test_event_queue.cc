@@ -1,0 +1,121 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace facsp::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5.0, [&, i] { order.push_back(i); });
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunNextReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(4.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.5);
+  EXPECT_DOUBLE_EQ(q.run_next(), 4.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const auto h = q.schedule(1.0, [&] { ran = true; });
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const auto h = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const auto h = q.schedule(1.0, [] {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const auto h = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(h);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, ActionsMayScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(int)> chain = [&](int depth) {
+    ++fired;
+    if (depth < 5) q.schedule(static_cast<double>(depth + 1),
+                              [&chain, depth] { chain(depth + 1); });
+  };
+  q.schedule(0.0, [&chain] { chain(0); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 6);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, RejectsNonFiniteTimeAndEmptyAction) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(), [] {}),
+               ContractViolation);
+  EXPECT_THROW(q.schedule(1.0, EventQueue::Action{}), ContractViolation);
+}
+
+TEST(EventQueue, EmptyQueueAccessorsThrow) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), ContractViolation);
+  EXPECT_THROW(q.run_next(), ContractViolation);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 503);
+    q.schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 1; i < fired.size(); ++i)
+    EXPECT_LE(fired[i - 1], fired[i]);
+}
+
+}  // namespace
+}  // namespace facsp::sim

@@ -1,0 +1,163 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace facsp::sim {
+namespace {
+
+TEST(RandomStream, DeterministicForSameSeed) {
+  RandomStream a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(RandomStream, DifferentSeedsDiffer) {
+  RandomStream a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomStream, UniformRespectsBounds) {
+  RandomStream rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+  EXPECT_DOUBLE_EQ(rng.uniform(2.0, 2.0), 2.0);
+}
+
+TEST(RandomStream, UniformIntInclusive) {
+  RandomStream rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, ExponentialMeanApproximately) {
+  RandomStream rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(300.0);
+  EXPECT_NEAR(sum / n, 300.0, 10.0);
+}
+
+TEST(RandomStream, ExponentialIsPositive) {
+  RandomStream rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(RandomStream, NormalMoments) {
+  RandomStream rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RandomStream, NormalZeroStddevIsDeterministic) {
+  RandomStream rng(5);
+  EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);
+}
+
+TEST(RandomStream, BernoulliFrequency) {
+  RandomStream rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomStream, BernoulliEdgeProbabilities) {
+  RandomStream rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RandomStream, DiscreteMatchesWeights) {
+  RandomStream rng(19);
+  // The paper's 70/20/10 traffic mix.
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete({0.7, 0.2, 0.1})];
+  EXPECT_NEAR(counts[0] / double(n), 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / double(n), 0.1, 0.02);
+}
+
+TEST(RandomStream, PoissonMean) {
+  RandomStream rng(23);
+  long sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(4.0);
+  EXPECT_NEAR(sum / double(n), 4.0, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(RandomStream, PreconditionViolations) {
+  RandomStream rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(1.5), ContractViolation);
+  EXPECT_THROW(rng.discrete({}), ContractViolation);
+}
+
+TEST(RngFactory, NamedStreamsAreReproducible) {
+  const RngFactory f(99);
+  RandomStream a = f.stream("traffic");
+  RandomStream b = f.stream("traffic");
+  for (int i = 0; i < 50; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(RngFactory, DifferentNamesAreIndependent) {
+  const RngFactory f(99);
+  RandomStream a = f.stream("traffic");
+  RandomStream b = f.stream("mobility");
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngFactory, IndexedStreamsDiffer) {
+  const RngFactory f(99);
+  RandomStream r0 = f.stream("rep", 0);
+  RandomStream r1 = f.stream("rep", 1);
+  EXPECT_NE(r0.uniform(0.0, 1.0), r1.uniform(0.0, 1.0));
+}
+
+TEST(HashSeed, StableAndSensitive) {
+  const auto h = hash_seed(42, "traffic");
+  EXPECT_EQ(h, hash_seed(42, "traffic"));
+  EXPECT_NE(h, hash_seed(43, "traffic"));
+  EXPECT_NE(h, hash_seed(42, "traffio"));
+  EXPECT_NE(h, hash_seed(42, "traffic", 1));
+  EXPECT_NE(hash_seed(0, ""), 0u);  // never the degenerate zero seed
+}
+
+}  // namespace
+}  // namespace facsp::sim

@@ -1,0 +1,133 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace facsp::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(Simulator, ClockAdvancesBeforeActionRuns) {
+  // Regression test: actions must observe the event's own timestamp.
+  Simulator sim;
+  double observed = -1.0;
+  sim.schedule_at(7.5, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 7.5);
+}
+
+TEST(Simulator, ScheduleInIsRelativeToNow) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(10.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(5.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{10.0, 15.0}));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), ContractViolation);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), ContractViolation);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run(), 7u);
+  EXPECT_EQ(sim.events_fired(), 7u);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0})
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  // Clock parked at the horizon; remaining events still pending.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending_count(), 2u);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i)
+    sim.schedule_at(i, [&] {
+      ++fired;
+      if (fired == 3) sim.stop();
+    });
+  sim.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(sim.has_pending());
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool ran = false;
+  const auto h = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, ResetRestoresInitialState) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.has_pending());
+  // Scheduling at time 0 works again after reset.
+  EXPECT_NO_THROW(sim.schedule_at(0.0, [] {}));
+}
+
+TEST(Simulator, SelfSchedulingProcessTerminates) {
+  // A mobility-update-style recurring event that cancels itself.
+  Simulator sim;
+  int updates = 0;
+  std::function<void()> tick = [&] {
+    if (++updates < 20) sim.schedule_in(5.0, tick);
+  };
+  sim.schedule_in(5.0, tick);
+  sim.run();
+  EXPECT_EQ(updates, 20);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+}  // namespace
+}  // namespace facsp::sim

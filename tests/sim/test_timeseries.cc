@@ -1,0 +1,92 @@
+#include "sim/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace facsp::sim {
+namespace {
+
+TEST(Series, AddAndAccess) {
+  Series s("FACS-P");
+  s.add(10.0, 95.0);
+  s.add(20.0, 90.0, 1.5);
+  EXPECT_EQ(s.name(), "FACS-P");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.y(1), 90.0);
+  EXPECT_FALSE(s.ci(0).has_value());
+  ASSERT_TRUE(s.ci(1).has_value());
+  EXPECT_DOUBLE_EQ(*s.ci(1), 1.5);
+  EXPECT_THROW(s.x(2), ContractViolation);
+}
+
+TEST(Series, YAtStepsToLargestXNotAbove) {
+  Series s("a");
+  s.add(10.0, 1.0);
+  s.add(20.0, 2.0);
+  s.add(30.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.y_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.y_at(25.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.y_at(100.0), 3.0);
+  // Below the smallest x falls back to the first point.
+  EXPECT_DOUBLE_EQ(s.y_at(5.0), 1.0);
+}
+
+TEST(Figure, TableContainsAllSeriesAndRows) {
+  Figure fig("Fig. 7", "N", "% accepted");
+  auto& a = fig.add_series("FACS");
+  auto& b = fig.add_series("SCC");
+  a.add(10, 97.0);
+  a.add(20, 93.0);
+  b.add(10, 90.0);
+  b.add(20, 89.0);
+  std::ostringstream os;
+  fig.print_table(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig. 7"), std::string::npos);
+  EXPECT_NE(out.find("FACS"), std::string::npos);
+  EXPECT_NE(out.find("SCC"), std::string::npos);
+  EXPECT_NE(out.find("97.00"), std::string::npos);
+  EXPECT_NE(out.find("89.00"), std::string::npos);
+}
+
+TEST(Figure, TableHandlesMismatchedGrids) {
+  Figure fig("t", "x", "y");
+  fig.add_series("a").add(1.0, 10.0);
+  fig.add_series("b").add(2.0, 20.0);
+  std::ostringstream os;
+  fig.print_table(os);
+  // Missing cells render as '-'.
+  EXPECT_NE(os.str().find('-'), std::string::npos);
+}
+
+TEST(Figure, CsvFormat) {
+  Figure fig("t", "N", "pct");
+  auto& a = fig.add_series("one");
+  a.add(1.0, 0.5);
+  a.add(2.0, 0.75);
+  std::ostringstream os;
+  fig.print_csv(os);
+  EXPECT_EQ(os.str(), "N,one\n1,0.5\n2,0.75\n");
+}
+
+TEST(Figure, CiRenderedWithPlusMinus) {
+  Figure fig("t", "x", "y");
+  fig.add_series("a").add(1.0, 50.0, 2.5);
+  std::ostringstream os;
+  fig.print_table(os);
+  EXPECT_NE(os.str().find("±2.50"), std::string::npos);
+}
+
+TEST(Figure, SeriesAccessorBounds) {
+  Figure fig("t", "x", "y");
+  fig.add_series("a");
+  EXPECT_NO_THROW(fig.series(0));
+  EXPECT_THROW(fig.series(1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace facsp::sim
