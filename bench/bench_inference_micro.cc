@@ -57,6 +57,26 @@ void BM_Flc2Evaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_Flc2Evaluate);
 
+void BM_Flc1EvaluateBatch(benchmark::State& state) {
+  const auto flc1 = cac::make_flc1();
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  sim::RandomStream rng(1);
+  std::vector<double> inputs(rows * 3);
+  for (std::size_t r = 0; r < rows; ++r) {
+    inputs[r * 3 + 0] = rng.uniform(0.0, 120.0);
+    inputs[r * 3 + 1] = rng.uniform(-180.0, 180.0);
+    inputs[r * 3 + 2] = rng.uniform(0.0, 10.0);
+  }
+  std::vector<double> out(rows);
+  for (auto _ : state) {
+    flc1->evaluate_batch(inputs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_Flc1EvaluateBatch)->Arg(256);
+
 void BM_Flc2EvaluateByResolution(benchmark::State& state) {
   cac::Flc2Params params;
   const auto flc2 = cac::make_flc2(
@@ -80,6 +100,29 @@ void BM_FacsPDecide(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(policy.decide(req, bs));
 }
 BENCHMARK(BM_FacsPDecide);
+
+void BM_DecisionBatch(benchmark::State& state) {
+  cac::FacsPPolicy policy;
+  cellular::BaseStation bs(0, {0, 0}, {0.0, 0.0}, 40.0);
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  sim::RandomStream rng(3);
+  std::vector<cac::AdmissionRequest> reqs(rows);
+  std::vector<cac::AdmissionDecision> out(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    reqs[i].id = static_cast<cellular::ConnectionId>(i + 1);
+    reqs[i].service = cellular::ServiceClass::kVoice;
+    reqs[i].bandwidth = 5.0;
+    reqs[i].speed_kmh = rng.uniform(0.0, 120.0);
+    reqs[i].angle_deg = rng.uniform(-180.0, 180.0);
+  }
+  for (auto _ : state) {
+    policy.decide_batch(reqs, bs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_DecisionBatch)->Arg(256);
 
 void BM_SccDecide(benchmark::State& state) {
   cellular::CellularNetwork net(1, 2000.0, 40.0);

@@ -25,10 +25,16 @@ FacsPPolicy::FacsPPolicy(const FacsPConfig& config)
 
 DifferentiatedCounters& FacsPPolicy::counters_mut(
     cellular::BaseStationId bs) const {
+  if (last_counters_ != nullptr && last_bs_ == bs) return *last_counters_;
   const auto it = counters_.find(bs);
-  if (it != counters_.end()) return it->second;
-  return counters_.emplace(bs, DifferentiatedCounters(config_.weights))
-      .first->second;
+  DifferentiatedCounters& c =
+      it != counters_.end()
+          ? it->second
+          : counters_.emplace(bs, DifferentiatedCounters(config_.weights))
+                .first->second;
+  last_counters_ = &c;
+  last_bs_ = bs;
+  return c;
 }
 
 const DifferentiatedCounters& FacsPPolicy::counters(
@@ -60,6 +66,9 @@ void FacsPPolicy::on_released(cellular::ConnectionId id,
   counters_mut(bs.id()).remove(id);
 }
 
-void FacsPPolicy::reset() { counters_.clear(); }
+void FacsPPolicy::reset() {
+  counters_.clear();
+  last_counters_ = nullptr;
+}
 
 }  // namespace facsp::cac

@@ -68,6 +68,11 @@ class FacsPPolicy final : public FuzzyCacBase {
   /// empty ledger for a BS it has never seen.
   mutable std::unordered_map<cellular::BaseStationId, DifferentiatedCounters>
       counters_;
+  /// Last-BS memo: admission decisions hit the same cell repeatedly, so the
+  /// hash lookup is skipped on the hot path.  unordered_map never invalidates
+  /// value pointers on insert; reset() clears the memo with the map.
+  mutable DifferentiatedCounters* last_counters_ = nullptr;
+  mutable cellular::BaseStationId last_bs_ = 0;
 };
 
 }  // namespace facsp::cac

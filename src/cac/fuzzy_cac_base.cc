@@ -17,16 +17,16 @@ FuzzyCacBase::FuzzyCacBase(std::unique_ptr<fuzzy::FuzzyController> flc1,
 }
 
 double FuzzyCacBase::correction_value(const AdmissionRequest& req) const {
-  return flc1_->evaluate(
-      {req.speed_kmh, req.angle_deg, flc1_third_input(req)});
+  const double in[3] = {req.speed_kmh, req.angle_deg, flc1_third_input(req)};
+  return flc1_->evaluate_with(scratch_, in);
 }
 
 AdmissionDecision FuzzyCacBase::decide(const AdmissionRequest& req,
                                        const cellular::BaseStation& bs) {
   const double cv = correction_value(req);
   const double cs = counter_state(req, bs);
-  double score = flc2_->evaluate(
-      {cv, static_cast<double>(req.bandwidth), cs});
+  const double in[3] = {cv, static_cast<double>(req.bandwidth), cs};
+  double score = flc2_->evaluate_with(scratch_, in);
 
   // Priority of on-going connections: a handoff *is* an on-going call, so
   // its continuation is favoured over fresh admissions.

@@ -27,6 +27,10 @@ class FuzzyCacBase : public AdmissionPolicy {
   AdmissionDecision decide(const AdmissionRequest& req,
                            const cellular::BaseStation& bs) final;
 
+  // decide_batch() is inherited from AdmissionPolicy: its decide() loop
+  // already reuses this class's member scratch for every FLC1 + FLC2
+  // evaluation, so steady-state batches are allocation-free.
+
   const fuzzy::FuzzyController& flc1() const noexcept { return *flc1_; }
   const fuzzy::FuzzyController& flc2() const noexcept { return *flc2_; }
 
@@ -48,6 +52,10 @@ class FuzzyCacBase : public AdmissionPolicy {
   std::unique_ptr<fuzzy::FuzzyController> flc2_;
   double accept_threshold_;
   double handoff_score_bonus_;
+  /// Reusable arena for both controllers; policies are driven from one
+  /// simulation thread, so a per-policy scratch is safe.  Mutable because
+  /// correction_value() is logically const.
+  mutable fuzzy::InferenceScratch scratch_;
 };
 
 }  // namespace facsp::cac

@@ -1,6 +1,15 @@
 #include "cac/policy.h"
 
+#include "common/expects.h"
+
 namespace facsp::cac {
+
+void AdmissionPolicy::decide_batch(std::span<const AdmissionRequest> reqs,
+                                   const cellular::BaseStation& bs,
+                                   std::span<AdmissionDecision> out) {
+  FACSP_EXPECTS(reqs.size() == out.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) out[i] = decide(reqs[i], bs);
+}
 
 Verdict verdict_from_score(double score) noexcept {
   if (score > 0.45) return Verdict::kAccept;

@@ -5,6 +5,7 @@
 // current.
 #pragma once
 
+#include <span>
 #include <string_view>
 
 #include "cellular/basestation.h"
@@ -78,6 +79,16 @@ class AdmissionPolicy {
   /// the caller allocates on success and then calls on_admitted().
   virtual AdmissionDecision decide(const AdmissionRequest& req,
                                    const cellular::BaseStation& bs) = 0;
+
+  /// Decide a batch of independent requests against one base station,
+  /// writing out[i] for reqs[i].  Decisions are taken as-if sequential but
+  /// without allocation/admission between them (no on_admitted() runs), so
+  /// this suits scoring sweeps and benches rather than the live event loop.
+  /// The default loops decide(); the fuzzy policies reuse one inference
+  /// scratch across the whole batch.
+  virtual void decide_batch(std::span<const AdmissionRequest> reqs,
+                            const cellular::BaseStation& bs,
+                            std::span<AdmissionDecision> out);
 
   /// The request was admitted and the bandwidth allocated on `bs`.
   virtual void on_admitted(const AdmissionRequest& req,

@@ -72,6 +72,11 @@ RunResult Experiment::run_single(int n, std::uint64_t replication) const {
                                   const cellular::BaseStation& bs) override {
       return inner->decide(req, bs);
     }
+    void decide_batch(std::span<const cac::AdmissionRequest> reqs,
+                      const cellular::BaseStation& bs,
+                      std::span<cac::AdmissionDecision> out) override {
+      inner->decide_batch(reqs, bs, out);
+    }
     void on_admitted(const cac::AdmissionRequest& req,
                      const cellular::BaseStation& bs) override {
       inner->on_admitted(req, bs);

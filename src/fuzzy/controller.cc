@@ -17,16 +17,41 @@ FuzzyController::FuzzyController(std::string name,
       rules_(std::move(rules), inputs_, output_),
       defuzz_(defuzzifier),
       engine_(std::make_unique<InferenceEngine>(inputs_, output_, rules_,
-                                                inference)) {}
+                                                inference)) {
+  // Build the defuzzifier's sample tables for our output variable once;
+  // every evaluation then takes the table-driven fast path.
+  defuzz_.prime(output_);
+}
 
 double FuzzyController::evaluate(std::span<const double> crisp_inputs) const {
-  return defuzz_.defuzzify(engine_->infer(crisp_inputs), output_);
+  static thread_local InferenceScratch scratch;
+  return evaluate_with(scratch, crisp_inputs);
 }
 
 double FuzzyController::evaluate(
     std::initializer_list<double> crisp_inputs) const {
   return evaluate(std::span<const double>(crisp_inputs.begin(),
                                           crisp_inputs.size()));
+}
+
+double FuzzyController::evaluate_with(
+    InferenceScratch& scratch, std::span<const double> crisp_inputs) const {
+  engine_->infer_into(crisp_inputs, scratch);
+  return defuzz_.defuzzify(scratch.activations,
+                           engine_->options().implication, output_,
+                           scratch.mu);
+}
+
+void FuzzyController::evaluate_batch(std::span<const double> crisp_inputs,
+                                     std::span<double> out) const {
+  FACSP_EXPECTS_MSG(crisp_inputs.size() == out.size() * inputs_.size(),
+                    "batch of " << out.size() << " rows needs "
+                                << out.size() * inputs_.size()
+                                << " inputs, got " << crisp_inputs.size());
+  static thread_local InferenceScratch scratch;
+  const std::size_t stride = inputs_.size();
+  for (std::size_t r = 0; r < out.size(); ++r)
+    out[r] = evaluate_with(scratch, crisp_inputs.subspan(r * stride, stride));
 }
 
 Explanation FuzzyController::explain(

@@ -45,10 +45,25 @@ class FuzzyController {
 
   /// Evaluate the controller for the crisp input vector (one entry per input
   /// variable, clamped to universes).  Returns the defuzzified output.
+  /// Internally reuses a thread-local scratch arena, so steady-state calls
+  /// perform zero heap allocations.
   double evaluate(std::span<const double> crisp_inputs) const;
 
   /// Convenience overload for initializer lists: evaluate({30.0, 0.0, 5.0}).
   double evaluate(std::initializer_list<double> crisp_inputs) const;
+
+  /// Explicit-scratch form of evaluate(): all intermediate storage lives in
+  /// `scratch`, which warms up on the first call and is then reused without
+  /// further allocation.  One scratch may serve several controllers (e.g.
+  /// the FLC1 -> FLC2 cascade) but must not be shared across threads.
+  double evaluate_with(InferenceScratch& scratch,
+                       std::span<const double> crisp_inputs) const;
+
+  /// Batched evaluation: `crisp_inputs` holds out.size() rows of
+  /// input_count() values each (row-major), `out` receives one crisp output
+  /// per row.  One scratch is reused across the whole batch.
+  void evaluate_batch(std::span<const double> crisp_inputs,
+                      std::span<double> out) const;
 
   /// Evaluate and capture the full rule-firing explanation.
   Explanation explain(std::span<const double> crisp_inputs) const;

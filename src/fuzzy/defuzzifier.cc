@@ -39,27 +39,160 @@ Defuzzifier::Defuzzifier(DefuzzMethod method, int resolution, SNorm aggregation)
     throw ConfigError("defuzzifier: resolution must be >= 8");
 }
 
-double Defuzzifier::defuzzify(const OutputFuzzySet& set,
-                              const LinguisticVariable& output) const {
-  FACSP_EXPECTS(set.activations.size() == output.term_count());
-  if (set.empty())
-    return 0.5 * (output.universe_lo() + output.universe_hi());
-  switch (method_) {
-    case DefuzzMethod::kCentroid:
-      return centroid(set, output);
-    case DefuzzMethod::kBisector:
-      return bisector(set, output);
-    case DefuzzMethod::kMeanOfMaximum:
-    case DefuzzMethod::kSmallestOfMaximum:
-    case DefuzzMethod::kLargestOfMaximum:
-      return of_maximum(set, output);
-    case DefuzzMethod::kWeightedAverage:
-      return weighted_average(set, output);
+void Defuzzifier::prime(const LinguisticVariable& output) {
+  if (method_ == DefuzzMethod::kWeightedAverage) {
+    // Weighted average reads only term core centres — no grid to precompute.
+    grid_.reset();
+    return;
   }
-  return centroid(set, output);  // unreachable
+  auto grid = std::make_shared<Grid>();
+  grid->variable = &output;
+  grid->resolution = resolution_;
+  const double lo = output.universe_lo();
+  const double hi = output.universe_hi();
+  const double dy = (hi - lo) / (resolution_ - 1);
+  const std::size_t n = static_cast<std::size_t>(resolution_);
+  const std::size_t terms = output.term_count();
+  grid->ys.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    grid->ys[i] = lo + static_cast<double>(i) * dy;
+  grid->term_grades.resize(terms * n);
+  for (std::size_t k = 0; k < terms; ++k) {
+    const MembershipFunction& mf = output.term(k).mf;
+    double* row = grid->term_grades.data() + k * n;
+    for (std::size_t i = 0; i < n; ++i) row[i] = mf.grade(grid->ys[i]);
+  }
+  grid_ = std::move(grid);
 }
 
-double Defuzzifier::centroid(const OutputFuzzySet& set,
+bool Defuzzifier::primed_for(const LinguisticVariable& output) const noexcept {
+  // The shape check guards the address key: if a new variable reuses a
+  // destroyed variable's address with a different term count, the stale
+  // grid must not match.
+  return grid_ != nullptr && grid_->variable == &output &&
+         grid_->resolution == resolution_ &&
+         grid_->term_grades.size() == output.term_count() * grid_->ys.size();
+}
+
+double Defuzzifier::defuzzify(const OutputFuzzySet& set,
+                              const LinguisticVariable& output) const {
+  static thread_local std::vector<double> mu_scratch;
+  return defuzzify(set.activations, set.implication, output, mu_scratch);
+}
+
+double Defuzzifier::defuzzify(std::span<const double> activations,
+                              Implication implication,
+                              const LinguisticVariable& output,
+                              std::vector<double>& mu_scratch) const {
+  FACSP_EXPECTS(activations.size() == output.term_count());
+  bool empty = true;
+  for (double a : activations) {
+    if (a > 0.0) {
+      empty = false;
+      break;
+    }
+  }
+  if (empty) return 0.5 * (output.universe_lo() + output.universe_hi());
+
+  if (method_ == DefuzzMethod::kWeightedAverage)
+    return weighted_average(activations, output);
+  if (primed_for(output))
+    return defuzzify_grid(*grid_, activations, implication, output,
+                          mu_scratch);
+  switch (method_) {
+    case DefuzzMethod::kCentroid:
+      return centroid(activations, implication, output);
+    case DefuzzMethod::kBisector:
+      return bisector(activations, implication, output, mu_scratch);
+    default:
+      return of_maximum(activations, implication, output);
+  }
+}
+
+double Defuzzifier::aggregate_at(std::span<const double> activations,
+                                 Implication impl,
+                                 const LinguisticVariable& output,
+                                 double y) const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < activations.size(); ++k) {
+    if (activations[k] <= 0.0) continue;
+    const double g =
+        apply_implication(impl, activations[k], output.term(k).mf.grade(y));
+    acc = apply_snorm(aggregation_, acc, g);
+  }
+  return acc;
+}
+
+double Defuzzifier::defuzzify_grid(const Grid& grid,
+                                   std::span<const double> activations,
+                                   Implication impl,
+                                   const LinguisticVariable& output,
+                                   std::vector<double>& mu_scratch) const {
+  const std::size_t n = grid.ys.size();
+  const double* const ys = grid.ys.data();
+  // Aggregate the clipped/scaled term columns into the sample buffer.  Term
+  // order matches the naive path, so the float accumulation is identical.
+  mu_scratch.assign(n, 0.0);
+  double* const mu = mu_scratch.data();
+  for (std::size_t k = 0; k < activations.size(); ++k) {
+    const double a = activations[k];
+    if (a <= 0.0) continue;
+    const double* row = grid.term_grades.data() + k * n;
+    for (std::size_t i = 0; i < n; ++i)
+      mu[i] = apply_snorm(aggregation_, mu[i], apply_implication(impl, a, row[i]));
+  }
+
+  const double mid = 0.5 * (output.universe_lo() + output.universe_hi());
+  switch (method_) {
+    case DefuzzMethod::kCentroid:
+    case DefuzzMethod::kBisector: {
+      // One shared accumulation pass: trapezoid-weighted moments for the
+      // centroid, the unweighted mass for the bisector.
+      double num = 0.0, den = 0.0, total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double w = (i == 0 || i == n - 1) ? 0.5 : 1.0;
+        const double m = mu[i] * w;
+        num += m * ys[i];
+        den += m;
+        total += mu[i];
+      }
+      if (method_ == DefuzzMethod::kCentroid)
+        return den <= 0.0 ? mid : num / den;
+      if (total <= 0.0) return mid;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += mu[i];
+        if (acc >= 0.5 * total) return ys[i];
+      }
+      return output.universe_hi();
+    }
+    default: {
+      double max_mu = 0.0;
+      for (std::size_t i = 0; i < n; ++i) max_mu = std::max(max_mu, mu[i]);
+      if (max_mu <= 0.0) return mid;
+      const double tol = 1e-9;
+      double first = output.universe_hi(), last = output.universe_lo();
+      double sum = 0.0;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mu[i] >= max_mu - tol) {
+          first = std::min(first, ys[i]);
+          last = std::max(last, ys[i]);
+          sum += ys[i];
+          ++count;
+        }
+      }
+      switch (method_) {
+        case DefuzzMethod::kSmallestOfMaximum: return first;
+        case DefuzzMethod::kLargestOfMaximum: return last;
+        default: return sum / static_cast<double>(count);
+      }
+    }
+  }
+}
+
+double Defuzzifier::centroid(std::span<const double> activations,
+                             Implication impl,
                              const LinguisticVariable& output) const {
   const double lo = output.universe_lo();
   const double hi = output.universe_hi();
@@ -69,7 +202,7 @@ double Defuzzifier::centroid(const OutputFuzzySet& set,
     const double y = lo + i * dy;
     // Trapezoidal quadrature: halve the end samples.
     const double w = (i == 0 || i == resolution_ - 1) ? 0.5 : 1.0;
-    const double mu = set.grade(output, y, aggregation_) * w;
+    const double mu = aggregate_at(activations, impl, output, y) * w;
     num += mu * y;
     den += mu;
   }
@@ -77,34 +210,38 @@ double Defuzzifier::centroid(const OutputFuzzySet& set,
   return num / den;
 }
 
-double Defuzzifier::bisector(const OutputFuzzySet& set,
-                             const LinguisticVariable& output) const {
+double Defuzzifier::bisector(std::span<const double> activations,
+                             Implication impl,
+                             const LinguisticVariable& output,
+                             std::vector<double>& mu_scratch) const {
   const double lo = output.universe_lo();
   const double hi = output.universe_hi();
   const double dy = (hi - lo) / (resolution_ - 1);
-  std::vector<double> mu(static_cast<std::size_t>(resolution_));
+  mu_scratch.resize(static_cast<std::size_t>(resolution_));
   double total = 0.0;
   for (int i = 0; i < resolution_; ++i) {
-    mu[i] = set.grade(output, lo + i * dy, aggregation_);
-    total += mu[i];
+    mu_scratch[i] = aggregate_at(activations, impl, output, lo + i * dy);
+    total += mu_scratch[i];
   }
   if (total <= 0.0) return 0.5 * (lo + hi);
   double acc = 0.0;
   for (int i = 0; i < resolution_; ++i) {
-    acc += mu[i];
+    acc += mu_scratch[i];
     if (acc >= 0.5 * total) return lo + i * dy;
   }
   return hi;
 }
 
-double Defuzzifier::of_maximum(const OutputFuzzySet& set,
+double Defuzzifier::of_maximum(std::span<const double> activations,
+                               Implication impl,
                                const LinguisticVariable& output) const {
   const double lo = output.universe_lo();
   const double hi = output.universe_hi();
   const double dy = (hi - lo) / (resolution_ - 1);
   double max_mu = 0.0;
   for (int i = 0; i < resolution_; ++i)
-    max_mu = std::max(max_mu, set.grade(output, lo + i * dy, aggregation_));
+    max_mu = std::max(max_mu,
+                      aggregate_at(activations, impl, output, lo + i * dy));
   if (max_mu <= 0.0) return 0.5 * (lo + hi);
 
   const double tol = 1e-9;
@@ -112,7 +249,7 @@ double Defuzzifier::of_maximum(const OutputFuzzySet& set,
   int count = 0;
   for (int i = 0; i < resolution_; ++i) {
     const double y = lo + i * dy;
-    if (set.grade(output, y, aggregation_) >= max_mu - tol) {
+    if (aggregate_at(activations, impl, output, y) >= max_mu - tol) {
       first = std::min(first, y);
       last = std::max(last, y);
       sum += y;
@@ -126,11 +263,11 @@ double Defuzzifier::of_maximum(const OutputFuzzySet& set,
   }
 }
 
-double Defuzzifier::weighted_average(const OutputFuzzySet& set,
+double Defuzzifier::weighted_average(std::span<const double> activations,
                                      const LinguisticVariable& output) const {
   double num = 0.0, den = 0.0;
-  for (std::size_t k = 0; k < set.activations.size(); ++k) {
-    const double a = set.activations[k];
+  for (std::size_t k = 0; k < activations.size(); ++k) {
+    const double a = activations[k];
     if (a <= 0.0) continue;
     num += a * output.term(k).mf.core_center();
     den += a;

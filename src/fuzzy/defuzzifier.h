@@ -4,7 +4,18 @@
 // the default.  Alternative methods are provided for the ablation study
 // (bench_ablation_defuzz) and for applications with different latency or
 // smoothness needs.
+//
+// Two evaluation paths produce identical results:
+//  * the naive path re-evaluates every output-term membership function at
+//    every grid sample (no setup, works for any variable);
+//  * the table-driven fast path reads precomputed per-term grade rows built
+//    by prime() — tight fused loops over flat arrays with zero allocations.
+// FuzzyController primes its defuzzifier at construction, so all controller
+// evaluations take the fast path.
 #pragma once
+
+#include <memory>
+#include <span>
 
 #include "fuzzy/inference.h"
 #include "fuzzy/variable.h"
@@ -35,28 +46,68 @@ class Defuzzifier {
   explicit Defuzzifier(DefuzzMethod method = DefuzzMethod::kCentroid,
                        int resolution = 512, SNorm aggregation = SNorm::kMaximum);
 
+  /// Precompute the sample grid for `output`: the y value of every grid
+  /// point and each term's membership grade at those points.  The grid is
+  /// keyed by variable identity (address), so it is only used when
+  /// defuzzify() later receives the same variable; any other variable falls
+  /// back to the naive path.  `output` must outlive the grid (the
+  /// FuzzyController owns both).  Copies of a primed defuzzifier share the
+  /// immutable grid.
+  void prime(const LinguisticVariable& output);
+
+  /// True when defuzzify(..., output) would take the table-driven path.
+  bool primed_for(const LinguisticVariable& output) const noexcept;
+
   /// Crisp output for the aggregated set.  When no rule fired (empty set)
   /// returns the midpoint of the universe — a neutral value; FACS-P's rule
   /// bases are complete so this only happens for out-of-universe abuse.
   double defuzzify(const OutputFuzzySet& set,
                    const LinguisticVariable& output) const;
 
+  /// Allocation-free form: activations one per output term, `implication`
+  /// as applied by the inference engine, `mu_scratch` a reusable sample
+  /// buffer (scratch.mu of the InferenceScratch threaded through the
+  /// controller).  Zero heap allocations once primed and warm.
+  double defuzzify(std::span<const double> activations,
+                   Implication implication, const LinguisticVariable& output,
+                   std::vector<double>& mu_scratch) const;
+
   DefuzzMethod method() const noexcept { return method_; }
   int resolution() const noexcept { return resolution_; }
+  SNorm aggregation() const noexcept { return aggregation_; }
 
  private:
-  double centroid(const OutputFuzzySet& set,
+  /// Precomputed sample tables for one output variable.  Immutable after
+  /// construction and shared by copies of the defuzzifier.
+  struct Grid {
+    const LinguisticVariable* variable = nullptr;  ///< identity key
+    int resolution = 0;
+    std::vector<double> ys;           ///< y value of each grid point
+    std::vector<double> term_grades;  ///< term-major: [term * resolution + i]
+  };
+
+  /// Aggregated membership at sample y (naive path).
+  double aggregate_at(std::span<const double> activations, Implication impl,
+                      const LinguisticVariable& output, double y) const;
+
+  double defuzzify_grid(const Grid& grid, std::span<const double> activations,
+                        Implication impl, const LinguisticVariable& output,
+                        std::vector<double>& mu_scratch) const;
+
+  double centroid(std::span<const double> activations, Implication impl,
                   const LinguisticVariable& output) const;
-  double bisector(const OutputFuzzySet& set,
-                  const LinguisticVariable& output) const;
-  double of_maximum(const OutputFuzzySet& set,
+  double bisector(std::span<const double> activations, Implication impl,
+                  const LinguisticVariable& output,
+                  std::vector<double>& mu_scratch) const;
+  double of_maximum(std::span<const double> activations, Implication impl,
                     const LinguisticVariable& output) const;
-  double weighted_average(const OutputFuzzySet& set,
+  double weighted_average(std::span<const double> activations,
                           const LinguisticVariable& output) const;
 
   DefuzzMethod method_;
   int resolution_;
   SNorm aggregation_;
+  std::shared_ptr<const Grid> grid_;
 };
 
 }  // namespace facsp::fuzzy

@@ -7,33 +7,6 @@
 
 namespace facsp::fuzzy {
 
-namespace {
-
-double apply_snorm(SNorm s, double a, double b) noexcept {
-  switch (s) {
-    case SNorm::kMaximum:
-      return std::max(a, b);
-    case SNorm::kProbabilisticSum:
-      return a + b - a * b;
-    case SNorm::kBoundedSum:
-      return std::min(1.0, a + b);
-  }
-  return std::max(a, b);  // unreachable
-}
-
-double apply_implication(Implication impl, double activation,
-                         double term_grade) noexcept {
-  switch (impl) {
-    case Implication::kMinimum:
-      return std::min(activation, term_grade);
-    case Implication::kProduct:
-      return activation * term_grade;
-  }
-  return std::min(activation, term_grade);  // unreachable
-}
-
-}  // namespace
-
 double OutputFuzzySet::grade(const LinguisticVariable& output, double y,
                              SNorm s_norm) const {
   FACSP_EXPECTS(activations.size() == output.term_count());
@@ -66,6 +39,11 @@ InferenceEngine::InferenceEngine(const std::vector<LinguisticVariable>& inputs,
   FACSP_EXPECTS(!inputs_.empty());
   FACSP_EXPECTS(rules_.input_count() == inputs_.size());
   FACSP_EXPECTS(rules_.output_term_count() == output_.term_count());
+  grade_offsets_.reserve(inputs_.size());
+  for (const auto& in : inputs_) {
+    grade_offsets_.push_back(total_grades_);
+    total_grades_ += in.term_count();
+  }
 }
 
 double InferenceEngine::combine_and(double a, double b) const noexcept {
@@ -76,27 +54,25 @@ double InferenceEngine::combine_or(double a, double b) const noexcept {
   return apply_snorm(options_.s_norm, a, b);
 }
 
-OutputFuzzySet InferenceEngine::infer(
-    std::span<const double> crisp_inputs) const {
-  std::vector<FiredRule> scratch;
-  return infer_traced(crisp_inputs, scratch);
-}
-
-OutputFuzzySet InferenceEngine::infer_traced(
-    std::span<const double> crisp_inputs, std::vector<FiredRule>& fired) const {
+void InferenceEngine::run(std::span<const double> crisp_inputs,
+                          InferenceScratch& scratch,
+                          std::vector<FiredRule>* fired) const {
   FACSP_EXPECTS_MSG(crisp_inputs.size() == inputs_.size(),
                     "expected " << inputs_.size() << " inputs, got "
                                 << crisp_inputs.size());
-  fired.clear();
-
-  // Fuzzify every input once; rules then look grades up by index.
-  std::vector<std::vector<double>> grades(inputs_.size());
+  // Fuzzify every input once into the flat arena; rules then look grades up
+  // by offset.  resize()/assign() reuse capacity, so a warm scratch never
+  // touches the heap.
+  scratch.grades.resize(total_grades_);
+  double* const grades = scratch.grades.data();
   for (std::size_t i = 0; i < inputs_.size(); ++i)
-    grades[i] = inputs_[i].fuzzify(crisp_inputs[i]);
+    inputs_[i].fuzzify_into(
+        crisp_inputs[i],
+        std::span<double>(grades + grade_offsets_[i],
+                          inputs_[i].term_count()));
 
-  OutputFuzzySet out;
-  out.implication = options_.implication;
-  out.activations.assign(output_.term_count(), 0.0);
+  scratch.activations.assign(output_.term_count(), 0.0);
+  if (fired != nullptr) fired->clear();
 
   for (std::size_t r = 0; r < rules_.size(); ++r) {
     const FuzzyRule& rule = rules_.rule(r);
@@ -105,19 +81,51 @@ OutputFuzzySet InferenceEngine::infer_traced(
          ++i) {
       const std::size_t a = rule.antecedents[i];
       if (a == FuzzyRule::kAny) continue;
-      strength = combine_and(strength, grades[i][a]);
+      strength = combine_and(strength, grades[grade_offsets_[i] + a]);
     }
     strength *= rule.weight;
     if (strength <= 0.0) continue;
-    fired.push_back({r, strength});
-    out.activations[rule.consequent] =
-        combine_or(out.activations[rule.consequent], strength);
+    if (fired != nullptr) fired->push_back({r, strength});
+    scratch.activations[rule.consequent] =
+        combine_or(scratch.activations[rule.consequent], strength);
   }
 
-  std::sort(fired.begin(), fired.end(),
-            [](const FiredRule& a, const FiredRule& b) {
-              return a.strength > b.strength;
-            });
+  if (fired != nullptr)
+    std::sort(fired->begin(), fired->end(),
+              [](const FiredRule& a, const FiredRule& b) {
+                return a.strength > b.strength;
+              });
+}
+
+void InferenceEngine::infer_into(std::span<const double> crisp_inputs,
+                                 InferenceScratch& scratch) const {
+  run(crisp_inputs, scratch, nullptr);
+}
+
+void InferenceEngine::infer_traced_into(std::span<const double> crisp_inputs,
+                                        InferenceScratch& scratch) const {
+  run(crisp_inputs, scratch, &scratch.fired);
+}
+
+OutputFuzzySet InferenceEngine::infer(
+    std::span<const double> crisp_inputs) const {
+  static thread_local InferenceScratch scratch;
+  run(crisp_inputs, scratch, nullptr);
+  OutputFuzzySet out;
+  out.implication = options_.implication;
+  out.activations.assign(scratch.activations.begin(),
+                         scratch.activations.end());
+  return out;
+}
+
+OutputFuzzySet InferenceEngine::infer_traced(
+    std::span<const double> crisp_inputs, std::vector<FiredRule>& fired) const {
+  static thread_local InferenceScratch scratch;
+  run(crisp_inputs, scratch, &fired);
+  OutputFuzzySet out;
+  out.implication = options_.implication;
+  out.activations.assign(scratch.activations.begin(),
+                         scratch.activations.end());
   return out;
 }
 

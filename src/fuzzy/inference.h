@@ -35,6 +35,31 @@ enum class Implication {
   kProduct,  ///< scale consequent by firing strength (Larsen)
 };
 
+/// Apply an s-norm to two grades.
+inline double apply_snorm(SNorm s, double a, double b) noexcept {
+  switch (s) {
+    case SNorm::kMaximum:
+      return a > b ? a : b;
+    case SNorm::kProbabilisticSum:
+      return a + b - a * b;
+    case SNorm::kBoundedSum:
+      return a + b < 1.0 ? a + b : 1.0;
+  }
+  return a > b ? a : b;  // unreachable
+}
+
+/// Apply an implication operator to a rule activation and a term grade.
+inline double apply_implication(Implication impl, double activation,
+                                double term_grade) noexcept {
+  switch (impl) {
+    case Implication::kMinimum:
+      return activation < term_grade ? activation : term_grade;
+    case Implication::kProduct:
+      return activation * term_grade;
+  }
+  return activation < term_grade ? activation : term_grade;  // unreachable
+}
+
 /// Knobs for the inference engine; defaults are the paper's configuration.
 struct InferenceOptions {
   TNorm t_norm = TNorm::kMinimum;
@@ -67,6 +92,20 @@ struct FiredRule {
   double strength = 0.0;  ///< t-norm of antecedent grades times rule weight
 };
 
+/// Reusable evaluation arena for the allocation-free inference fast path.
+///
+/// All buffers grow to their steady-state size on the first evaluation and
+/// are reused afterwards, so repeated infer_into()/evaluate_with() calls
+/// perform zero heap allocations.  One scratch may be shared across
+/// controllers (each call resizes logically, capacity only ever grows) but
+/// not across threads.
+struct InferenceScratch {
+  std::vector<double> grades;       ///< fuzzified input grades, flat per input
+  std::vector<double> activations;  ///< one activation per output term
+  std::vector<FiredRule> fired;     ///< fired-rule buffer (traced path only)
+  std::vector<double> mu;           ///< defuzzifier sample buffer
+};
+
 /// Stateless Mamdani inference engine over a fixed (inputs, output, rules)
 /// triple.  Thread-safe: evaluation does not mutate the engine.
 class InferenceEngine {
@@ -87,16 +126,36 @@ class InferenceEngine {
   OutputFuzzySet infer_traced(std::span<const double> crisp_inputs,
                               std::vector<FiredRule>& fired) const;
 
+  /// Allocation-free fast path: fuzzify into scratch.grades and aggregate
+  /// into scratch.activations (one entry per output term).  No fired-rule
+  /// bookkeeping.  Zero heap allocations once scratch is warm.
+  void infer_into(std::span<const double> crisp_inputs,
+                  InferenceScratch& scratch) const;
+
+  /// As infer_into(), but also fills scratch.fired with every rule of
+  /// non-zero firing strength, descending by strength.
+  void infer_traced_into(std::span<const double> crisp_inputs,
+                         InferenceScratch& scratch) const;
+
   const InferenceOptions& options() const noexcept { return options_; }
+
+  /// Total input-grade slots a scratch uses (sum of input term counts).
+  std::size_t grade_count() const noexcept { return total_grades_; }
 
  private:
   double combine_and(double a, double b) const noexcept;
   double combine_or(double a, double b) const noexcept;
+  /// Shared core of all evaluation entry points; collects fired rules only
+  /// when `fired` is non-null (the untraced path skips that work entirely).
+  void run(std::span<const double> crisp_inputs, InferenceScratch& scratch,
+           std::vector<FiredRule>* fired) const;
 
   const std::vector<LinguisticVariable>& inputs_;
   const LinguisticVariable& output_;
   const RuleBase& rules_;
   InferenceOptions options_;
+  std::vector<std::size_t> grade_offsets_;  ///< input i's offset in grades
+  std::size_t total_grades_ = 0;
 };
 
 }  // namespace facsp::fuzzy

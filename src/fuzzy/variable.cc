@@ -55,11 +55,16 @@ bool LinguisticVariable::has_term(std::string_view term_name) const noexcept {
 }
 
 std::vector<double> LinguisticVariable::fuzzify(double x) const {
-  const double cx = clamp(x, lo_, hi_);
   std::vector<double> grades(terms_.size());
-  for (std::size_t i = 0; i < terms_.size(); ++i)
-    grades[i] = terms_[i].mf.grade(cx);
+  fuzzify_into(x, grades);
   return grades;
+}
+
+void LinguisticVariable::fuzzify_into(double x, std::span<double> out) const {
+  FACSP_EXPECTS(out.size() == terms_.size());
+  const double cx = clamp(x, lo_, hi_);
+  for (std::size_t i = 0; i < terms_.size(); ++i)
+    out[i] = terms_[i].mf.grade(cx);
 }
 
 double LinguisticVariable::grade(std::size_t term, double x) const {

@@ -4,6 +4,7 @@
 // Example (paper Sec. 3.1):  T(Sp) = {Slow, Middle, Fast} over [0, 120] km/h.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,11 @@ class LinguisticVariable {
   /// an ULP outside due to floating point, and the paper's universes are hard
   /// physical bounds anyway.
   std::vector<double> fuzzify(double x) const;
+
+  /// As fuzzify(), but writes the grades into caller-provided storage of
+  /// exactly term_count() entries — the allocation-free form used by the
+  /// inference fast path.
+  void fuzzify_into(double x, std::span<double> out) const;
 
   /// Grade of a single term at x (x clamped to the universe).
   double grade(std::size_t term, double x) const;

@@ -143,5 +143,40 @@ TEST(Controller, EvaluateIsDeterministic) {
     EXPECT_DOUBLE_EQ(flc->evaluate({3.7, 6.1}), a);
 }
 
+TEST(Controller, EvaluateWithExplicitScratchMatchesEvaluate) {
+  const auto flc = tip_controller();
+  InferenceScratch scratch;
+  for (double food = 0.0; food <= 10.0; food += 1.7) {
+    for (double service = 0.0; service <= 10.0; service += 2.3) {
+      const double in[2] = {food, service};
+      EXPECT_DOUBLE_EQ(flc->evaluate_with(scratch, in), flc->evaluate(in));
+    }
+  }
+}
+
+TEST(Controller, EvaluateBatchMatchesScalarEvaluate) {
+  const auto flc = tip_controller();
+  std::vector<double> inputs;
+  std::vector<double> expect;
+  for (double food = 0.0; food <= 10.0; food += 1.1) {
+    for (double service = 0.0; service <= 10.0; service += 1.3) {
+      inputs.push_back(food);
+      inputs.push_back(service);
+      expect.push_back(flc->evaluate({food, service}));
+    }
+  }
+  std::vector<double> out(expect.size());
+  flc->evaluate_batch(inputs, out);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i], expect[i]) << "row " << i;
+}
+
+TEST(Controller, EvaluateBatchValidatesShape) {
+  const auto flc = tip_controller();
+  std::vector<double> inputs(5);  // not a multiple of input_count() rows
+  std::vector<double> out(2);
+  EXPECT_THROW(flc->evaluate_batch(inputs, out), facsp::ContractViolation);
+}
+
 }  // namespace
 }  // namespace facsp::fuzzy

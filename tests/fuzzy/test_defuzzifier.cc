@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 #include "common/error.h"
 #include "fuzzy/builder.h"
 
@@ -100,6 +104,188 @@ TEST_F(DefuzzFixture, ResultAlwaysInsideUniverse) {
 TEST_F(DefuzzFixture, ResolutionValidation) {
   EXPECT_THROW(Defuzzifier(DefuzzMethod::kCentroid, 4), ConfigError);
   EXPECT_NO_THROW(Defuzzifier(DefuzzMethod::kCentroid, 8));
+}
+
+// --- golden parity: table-driven fast path vs naive reference --------------
+//
+// The reference below is written independently of defuzzifier.cc: it samples
+// the aggregated membership straight from the term membership functions.
+// The primed (grid) path must agree to 1e-12 for every method, resolution,
+// s-norm and implication combination.
+
+double reference_grade(const LinguisticVariable& output,
+                       std::span<const double> acts, Implication impl,
+                       SNorm agg, double y) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < acts.size(); ++k) {
+    if (acts[k] <= 0.0) continue;
+    const double clipped =
+        apply_implication(impl, acts[k], output.term(k).mf.grade(y));
+    acc = apply_snorm(agg, acc, clipped);
+  }
+  return acc;
+}
+
+double reference_defuzzify(DefuzzMethod method, int res, SNorm agg,
+                           const LinguisticVariable& output,
+                           std::span<const double> acts, Implication impl) {
+  const double lo = output.universe_lo();
+  const double hi = output.universe_hi();
+  const double dy = (hi - lo) / (res - 1);
+  auto grade = [&](int i) {
+    return reference_grade(output, acts, impl, agg, lo + i * dy);
+  };
+  switch (method) {
+    case DefuzzMethod::kCentroid: {
+      double num = 0.0, den = 0.0;
+      for (int i = 0; i < res; ++i) {
+        const double w = (i == 0 || i == res - 1) ? 0.5 : 1.0;
+        num += grade(i) * w * (lo + i * dy);
+        den += grade(i) * w;
+      }
+      return den <= 0.0 ? 0.5 * (lo + hi) : num / den;
+    }
+    case DefuzzMethod::kBisector: {
+      double total = 0.0;
+      for (int i = 0; i < res; ++i) total += grade(i);
+      if (total <= 0.0) return 0.5 * (lo + hi);
+      double acc = 0.0;
+      for (int i = 0; i < res; ++i) {
+        acc += grade(i);
+        if (acc >= 0.5 * total) return lo + i * dy;
+      }
+      return hi;
+    }
+    default: {
+      double max_mu = 0.0;
+      for (int i = 0; i < res; ++i) max_mu = std::max(max_mu, grade(i));
+      if (max_mu <= 0.0) return 0.5 * (lo + hi);
+      double first = hi, last = lo, sum = 0.0;
+      int count = 0;
+      for (int i = 0; i < res; ++i) {
+        if (grade(i) >= max_mu - 1e-9) {
+          const double y = lo + i * dy;
+          first = std::min(first, y);
+          last = std::max(last, y);
+          sum += y;
+          ++count;
+        }
+      }
+      if (method == DefuzzMethod::kSmallestOfMaximum) return first;
+      if (method == DefuzzMethod::kLargestOfMaximum) return last;
+      return sum / count;
+    }
+  }
+}
+
+class DefuzzGoldenParity : public ::testing::Test {
+ protected:
+  // Five terms with shoulders at the edges — the shape of the paper's A/R
+  // output (Fig. 6).
+  LinguisticVariable output = VariableBuilder("ar", -1.0, 1.0)
+                                  .left_shoulder("R", -0.6, 0.3)
+                                  .triangular("WR", -0.3, 0.3, 0.3)
+                                  .triangular("NRNA", 0.0, 0.3, 0.3)
+                                  .triangular("WA", 0.3, 0.3, 0.3)
+                                  .right_shoulder("A", 0.6, 0.3)
+                                  .build();
+
+  static constexpr DefuzzMethod kMethods[] = {
+      DefuzzMethod::kCentroid, DefuzzMethod::kBisector,
+      DefuzzMethod::kMeanOfMaximum, DefuzzMethod::kSmallestOfMaximum,
+      DefuzzMethod::kLargestOfMaximum};
+  static constexpr SNorm kSNorms[] = {SNorm::kMaximum,
+                                      SNorm::kProbabilisticSum,
+                                      SNorm::kBoundedSum};
+  static constexpr Implication kImplications[] = {Implication::kMinimum,
+                                                  Implication::kProduct};
+  static constexpr int kResolutions[] = {8, 101, 1001};
+
+  std::vector<std::vector<double>> activation_sets = {
+      {1.0, 0.0, 0.0, 0.0, 0.0},    {0.0, 0.0, 1.0, 0.0, 0.0},
+      {0.3, 0.7, 0.0, 0.2, 0.0},    {0.05, 0.0, 0.0, 0.0, 0.9},
+      {0.5, 0.5, 0.5, 0.5, 0.5},    {0.0, 1e-9, 0.0, 0.0, 0.0},
+      {0.25, 0.75, 0.6, 0.1, 0.95},
+  };
+};
+
+TEST_F(DefuzzGoldenParity, GridPathMatchesNaiveReference) {
+  std::vector<double> mu_scratch;
+  for (auto method : kMethods) {
+    for (int res : kResolutions) {
+      for (auto agg : kSNorms) {
+        for (auto impl : kImplications) {
+          Defuzzifier fast(method, res, agg);
+          fast.prime(output);
+          ASSERT_TRUE(fast.primed_for(output));
+          for (const auto& acts : activation_sets) {
+            const double expect =
+                reference_defuzzify(method, res, agg, output, acts, impl);
+            const double got = fast.defuzzify(acts, impl, output, mu_scratch);
+            EXPECT_NEAR(got, expect, 1e-12)
+                << to_string(method) << " res=" << res
+                << " snorm=" << static_cast<int>(agg)
+                << " impl=" << static_cast<int>(impl);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DefuzzGoldenParity, UnprimedFallbackMatchesNaiveReference) {
+  std::vector<double> mu_scratch;
+  for (auto method : kMethods) {
+    for (auto agg : kSNorms) {
+      for (auto impl : kImplications) {
+        const Defuzzifier naive(method, 101, agg);  // never primed
+        ASSERT_FALSE(naive.primed_for(output));
+        for (const auto& acts : activation_sets) {
+          const double expect =
+              reference_defuzzify(method, 101, agg, output, acts, impl);
+          EXPECT_NEAR(naive.defuzzify(acts, impl, output, mu_scratch), expect,
+                      1e-12)
+              << to_string(method);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DefuzzGoldenParity, LegacySetOverloadTakesTheSamePath) {
+  for (auto method : kMethods) {
+    Defuzzifier fast(method, 101);
+    fast.prime(output);
+    const Defuzzifier naive(method, 101);
+    for (const auto& acts : activation_sets) {
+      OutputFuzzySet set;
+      set.activations = acts;
+      EXPECT_NEAR(fast.defuzzify(set, output), naive.defuzzify(set, output),
+                  1e-12)
+          << to_string(method);
+    }
+  }
+}
+
+TEST_F(DefuzzGoldenParity, PrimeIsKeyedByVariableIdentity) {
+  Defuzzifier d(DefuzzMethod::kCentroid, 101);
+  d.prime(output);
+  const LinguisticVariable other = VariableBuilder("z", -1.0, 1.0)
+                                       .triangular("neg", -0.5, 0.5, 0.5)
+                                       .triangular("zero", 0.0, 0.5, 0.5)
+                                       .triangular("pos", 0.5, 0.5, 0.5)
+                                       .build();
+  EXPECT_TRUE(d.primed_for(output));
+  EXPECT_FALSE(d.primed_for(other));
+  // A foreign variable silently takes the naive path and still agrees with
+  // the reference.
+  std::vector<double> mu;
+  const std::vector<double> acts = {0.2, 0.0, 0.8};
+  EXPECT_NEAR(d.defuzzify(acts, Implication::kMinimum, other, mu),
+              reference_defuzzify(DefuzzMethod::kCentroid, 101,
+                                  SNorm::kMaximum, other, acts,
+                                  Implication::kMinimum),
+              1e-12);
 }
 
 TEST(DefuzzMethodNames, RoundTrip) {

@@ -155,6 +155,64 @@ TEST_F(InferenceFixture, OutputSetGradeProductImplication) {
   EXPECT_DOUBLE_EQ(res.grade(output, 0.5), 0.8 * 0.5);
 }
 
+TEST_F(InferenceFixture, InferIntoMatchesInfer) {
+  const auto rs = rules({"IF x is lo AND y is lo THEN z is small",
+                         "IF x is hi AND y is hi THEN z is large",
+                         "IF x is lo AND y is hi THEN z is mid"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  InferenceScratch scratch;
+  for (double x = 0.0; x <= 10.0; x += 2.5) {
+    for (double y = 0.0; y <= 10.0; y += 2.5) {
+      const std::vector<double> in = {x, y};
+      const auto legacy = engine.infer(in);
+      engine.infer_into(in, scratch);
+      ASSERT_EQ(scratch.activations.size(), legacy.activations.size());
+      for (std::size_t k = 0; k < legacy.activations.size(); ++k)
+        EXPECT_DOUBLE_EQ(scratch.activations[k], legacy.activations[k])
+            << "x=" << x << " y=" << y << " term " << k;
+    }
+  }
+}
+
+TEST_F(InferenceFixture, TracedIntoMatchesTraced) {
+  const auto rs = rules({"IF x is lo THEN z is small",
+                         "IF x is hi THEN z is large",
+                         "IF y is hi THEN z is mid"});
+  const RuleBase rb(rs, inputs, output);
+  const InferenceEngine engine(inputs, output, rb);
+  std::vector<FiredRule> fired;
+  InferenceScratch scratch;
+  const std::vector<double> in = {3.0, 8.0};
+  (void)engine.infer_traced(in, fired);
+  engine.infer_traced_into(in, scratch);
+  ASSERT_EQ(scratch.fired.size(), fired.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(scratch.fired[i].rule_index, fired[i].rule_index);
+    EXPECT_DOUBLE_EQ(scratch.fired[i].strength, fired[i].strength);
+  }
+}
+
+TEST_F(InferenceFixture, ScratchIsReusableAcrossEngines) {
+  // A scratch sized by a wide engine must still work for a narrow one and
+  // vice versa — buffers are resized logically per call.
+  const auto rs1 = rules({"IF x is lo THEN z is small"});
+  const RuleBase rb1(rs1, inputs, output);
+  const InferenceEngine wide(inputs, output, rb1);
+
+  std::vector<LinguisticVariable> one_input = {inputs[0]};
+  const auto r2 = parse_rule("IF x is lo THEN z is large", one_input, output);
+  const RuleBase rb2({r2}, one_input, output);
+  const InferenceEngine narrow(one_input, output, rb2);
+
+  InferenceScratch scratch;
+  wide.infer_into(std::vector<double>{2.0, 3.0}, scratch);
+  const auto wide_acts = scratch.activations;
+  narrow.infer_into(std::vector<double>{2.0}, scratch);
+  wide.infer_into(std::vector<double>{2.0, 3.0}, scratch);
+  EXPECT_EQ(scratch.activations, wide_acts);
+}
+
 TEST_F(InferenceFixture, WrongInputArityThrows) {
   const auto rs = rules({"IF x is lo THEN z is small"});
   const RuleBase rb(rs, inputs, output);
