@@ -1,0 +1,132 @@
+// Parallel sweep benchmark: the whole paper grid (10 N-values x R
+// replications x 7 policies) through ParallelSweepRunner at several thread
+// counts, against the serial Experiment::run baseline.
+//
+// Two guarantees are exercised at once:
+//   * correctness — every parallel result is checked bit-identical to the
+//     serial sweep before its timing is reported (the binary fails loudly
+//     otherwise);
+//   * throughput — wall-clock per thread count, with speedup vs serial.
+//
+// Committed numbers live in BENCH_parallel_sweep.json.  Overrides:
+//   FACSP_BENCH_REPS     replications per cell   (default 16)
+//   FACSP_BENCH_THREADS  comma list of counts    (default "1,2,4,8")
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/parallel_sweep.h"
+#include "core/paper.h"
+
+using namespace facsp;
+
+namespace {
+
+std::vector<int> thread_counts() {
+  std::vector<int> out;
+  const char* env = std::getenv("FACSP_BENCH_THREADS");
+  std::string spec = env != nullptr ? env : "1,2,4,8";
+  for (std::size_t pos = 0; pos < spec.size();) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (const int t = std::atoi(tok.c_str()); t > 0) out.push_back(t);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out = {1, 2, 4, 8};
+  return out;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool bit_identical(const core::SweepResult& a, const core::SweepResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const core::SweepPoint& pa = a.points[i];
+    const core::SweepPoint& pb = b.points[i];
+    const std::pair<const sim::SummaryStats*, const sim::SummaryStats*>
+        stats[] = {
+            {&pa.acceptance_percent, &pb.acceptance_percent},
+            {&pa.dropping_percent, &pb.dropping_percent},
+            {&pa.utilization_percent, &pb.utilization_percent},
+            {&pa.completion_percent, &pb.completion_percent},
+        };
+    if (pa.n != pb.n) return false;
+    for (const auto& [sa, sb] : stats)
+      if (sa->count() != sb->count() || sa->mean() != sb->mean() ||
+          sa->variance() != sb->variance() ||
+          sa->ci_half_width() != sb->ci_half_width())
+        return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const auto scen = core::paper_scenario();
+  const std::vector<bench::NamedPolicy> policies = {
+      {"FACS-P", core::make_facs_p_factory()},
+      {"FACS-PR", core::make_facs_pr_factory()},
+      {"FACS", core::make_facs_factory()},
+      {"SCC", core::make_scc_factory()},
+      {"GC", core::make_guard_channel_factory(8.0)},
+      {"FGC", core::make_fractional_guard_factory(8.0)},
+      {"CS", core::make_complete_sharing_factory()},
+  };
+  core::SweepConfig sweep = core::SweepConfig::paper_grid(bench::replications());
+
+  std::printf("=== Parallel sweep: paper grid, %zu policies, %d reps ===\n",
+              policies.size(), sweep.replications);
+
+  // Serial baseline (the reference results for the bit-identity check).
+  std::vector<core::SweepResult> serial;
+  const auto t_serial = std::chrono::steady_clock::now();
+  for (const auto& p : policies)
+    serial.push_back(core::Experiment(scen, p.factory, p.name).run(sweep));
+  const double serial_ms = elapsed_ms(t_serial);
+  std::printf("  serial Experiment::run          %8.1f ms\n", serial_ms);
+
+  int failures = 0;
+  std::printf("\n  %-8s %12s %9s %14s\n", "threads", "wall ms", "speedup",
+              "bit-identical");
+  std::vector<std::pair<int, double>> timings;
+  for (const int threads : thread_counts()) {
+    sweep.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<core::SweepResult> parallel;
+    for (const auto& p : policies)
+      parallel.push_back(
+          core::ParallelSweepRunner(scen, p.factory, p.name).run(sweep));
+    const double ms = elapsed_ms(t0);
+    bool identical = true;
+    for (std::size_t i = 0; i < policies.size(); ++i)
+      identical = identical && bit_identical(serial[i], parallel[i]);
+    if (!identical) ++failures;
+    timings.emplace_back(threads, ms);
+    std::printf("  %-8d %12.1f %8.2fx %14s\n", threads, ms, serial_ms / ms,
+                identical ? "yes" : "NO — BUG");
+  }
+
+  std::printf("\n  json: {\"serial_ms\": %.1f", serial_ms);
+  for (const auto& [threads, ms] : timings)
+    std::printf(", \"threads_%d_ms\": %.1f", threads, ms);
+  std::printf("}\n");
+
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d thread configuration(s) diverged from serial\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

@@ -31,6 +31,25 @@ sim::Series stats_series(const std::string& name,
 
 }  // namespace
 
+CellMetrics CellMetrics::from_run(int n, std::uint64_t replication,
+                                  const RunResult& run) {
+  CellMetrics m;
+  m.n = n;
+  m.replication = replication;
+  m.acceptance_percent = run.metrics.acceptance_percent();
+  m.dropping_percent = 100.0 * run.metrics.dropping_probability();
+  m.utilization_percent = 100.0 * run.center_utilization;
+  m.completion_percent = 100.0 * run.metrics.completion_ratio();
+  return m;
+}
+
+void CellMetrics::add_to(SweepPoint& point) const {
+  point.acceptance_percent.add(acceptance_percent);
+  point.dropping_percent.add(dropping_percent);
+  point.utilization_percent.add(utilization_percent);
+  point.completion_percent.add(completion_percent);
+}
+
 sim::Series SweepResult::acceptance_series(double ci_level) const {
   return stats_series(policy_name, points, &SweepPoint::acceptance_percent,
                       ci_level);
@@ -115,12 +134,8 @@ SweepResult Experiment::run(const SweepConfig& sweep) const {
     SweepPoint point;
     point.n = n;
     for (int r = 0; r < sweep.replications; ++r) {
-      const RunResult run = run_single(n, static_cast<std::uint64_t>(r));
-      point.acceptance_percent.add(run.metrics.acceptance_percent());
-      point.dropping_percent.add(100.0 *
-                                 run.metrics.dropping_probability());
-      point.utilization_percent.add(100.0 * run.center_utilization);
-      point.completion_percent.add(100.0 * run.metrics.completion_ratio());
+      const std::uint64_t rep = static_cast<std::uint64_t>(r);
+      CellMetrics::from_run(n, rep, run_single(n, rep)).add_to(point);
     }
     result.points.push_back(point);
   }

@@ -25,6 +25,13 @@ namespace facsp::core {
 /// Builds a fresh policy for one replication.  The factory receives the
 /// replication's network (SCC needs the geometry) and a per-replication
 /// RNG factory (randomised policies draw their own streams).
+///
+/// Thread-safety contract: ParallelSweepRunner invokes the factory from
+/// worker threads, once per (N, replication) cell, possibly concurrently.
+/// Factories must therefore be safe to call concurrently: capture
+/// configuration by value and only build fresh policy objects (as every
+/// make_*_factory() below does); never close over mutable shared state.
+/// The policy *instances* a factory returns are used by one worker only.
 using PolicyFactory = std::function<std::unique_ptr<cac::AdmissionPolicy>(
     const cellular::CellularNetwork& network, sim::RngFactory& rng)>;
 
@@ -33,6 +40,10 @@ struct SweepConfig {
   std::vector<int> n_values;  ///< x axis: number of requesting connections
   int replications = 20;
   double ci_level = 0.95;
+  /// Worker threads for ParallelSweepRunner (0 = hardware concurrency).
+  /// A pure throughput knob: results are bit-identical for every value.
+  /// The serial Experiment::run ignores it.
+  int threads = 0;
 
   /// The paper's x grid: 10, 20, ..., 100.
   static SweepConfig paper_grid(int replications = 20);
@@ -45,6 +56,24 @@ struct SweepPoint {
   sim::SummaryStats dropping_percent;
   sim::SummaryStats utilization_percent;
   sim::SummaryStats completion_percent;
+};
+
+/// Scalar metrics of one (n, replication) run, in the units the sweep
+/// aggregates (percentages).  The single definition of "which numbers a
+/// sweep reduces": both the serial Experiment::run and the
+/// ParallelSweepRunner extract cells with from_run() and fold them with
+/// add_to(), so the two paths cannot drift apart.
+struct CellMetrics {
+  int n = 0;
+  std::uint64_t replication = 0;
+  double acceptance_percent = 0.0;
+  double dropping_percent = 0.0;
+  double utilization_percent = 0.0;
+  double completion_percent = 0.0;
+
+  static CellMetrics from_run(int n, std::uint64_t replication,
+                              const RunResult& run);
+  void add_to(SweepPoint& point) const;
 };
 
 /// Result of a full sweep for one policy.
@@ -70,10 +99,15 @@ class Experiment {
   /// Run the full sweep.
   SweepResult run(const SweepConfig& sweep) const;
 
-  /// Run a single (N, replication) cell — used by tests and examples.
+  /// Run a single (N, replication) cell — used by tests, examples and the
+  /// parallel sweep runner.  Every piece of per-run state (driver, network,
+  /// RNG streams, policy, inference scratch) is built locally, so concurrent
+  /// calls from different threads are safe given the PolicyFactory contract
+  /// above.
   RunResult run_single(int n, std::uint64_t replication) const;
 
   const ScenarioConfig& scenario() const noexcept { return scenario_; }
+  const std::string& policy_label() const noexcept { return label_; }
 
  private:
   ScenarioConfig scenario_;

@@ -1,0 +1,53 @@
+// Deterministic parallel sweep runner: fans the (N, replication) cells of an
+// Experiment sweep across a sim::ThreadPool and reduces them in fixed
+// replication order, so the aggregated SweepResult is bit-identical to the
+// serial Experiment::run for every thread count.
+//
+// Why this is safe to parallelise: each cell builds its own SessionDriver
+// (network, event queue, RNG streams), its own policy instance from the
+// factory, and therefore its own InferenceScratch — no mutable state is
+// shared between cells.  Seeding flows through
+// hash_seed(scenario.seed, component, replication), so cell results depend
+// only on (scenario, n, replication), never on which worker ran them or
+// when.  The thread count is a pure throughput knob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace facsp::core {
+
+/// Runs an Experiment's sweep cells in parallel.  (CellMetrics — the shared
+/// cell-extraction/reduction unit — lives in core/experiment.h next to the
+/// serial path that must stay bit-identical to this one.)
+///
+/// Thread-safety contract: the PolicyFactory is invoked once per cell, from
+/// worker threads, possibly concurrently — it must be safe to call
+/// concurrently (the canonical make_*_factory() factories are: they capture
+/// configs by value and only construct fresh policy objects).  Policy
+/// *instances* are never shared across threads.
+class ParallelSweepRunner {
+ public:
+  ParallelSweepRunner(ScenarioConfig scenario, PolicyFactory factory,
+                      std::string policy_label);
+
+  /// Run the sweep on `sweep.threads` workers (0 = hardware concurrency).
+  /// The returned SweepResult is bit-identical to
+  /// Experiment(scenario, factory, label).run(sweep) regardless of the
+  /// thread count.  When `cells` is non-null it receives the raw per-cell
+  /// metrics in (n-major, replication) order.
+  SweepResult run(const SweepConfig& sweep,
+                  std::vector<CellMetrics>* cells = nullptr) const;
+
+  const ScenarioConfig& scenario() const noexcept {
+    return experiment_.scenario();
+  }
+
+ private:
+  Experiment experiment_;
+};
+
+}  // namespace facsp::core

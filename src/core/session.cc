@@ -16,7 +16,12 @@ SessionDriver::SessionDriver(const ScenarioConfig& scenario,
                              std::uint64_t replication)
     : scenario_(scenario),
       policy_(policy),
-      rng_(sim::hash_seed(scenario.seed, "replication", replication)) {
+      // The driver's streams live under their own "driver" component, while
+      // Experiment::run_single seeds the policy's RngFactory under "policy":
+      // two distinct top-level components of the same (seed, replication)
+      // pair, so a policy's draws can never alias the traffic/mobility
+      // streams no matter what stream names either side picks.
+      rng_(sim::hash_seed(scenario.seed, "driver", replication)) {
   scenario_.validate();
   network_ = std::make_unique<cellular::CellularNetwork>(
       scenario_.rings, scenario_.cell_radius_m, scenario_.capacity_bu);

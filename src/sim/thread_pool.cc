@@ -1,0 +1,137 @@
+#include "sim/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+#include "common/expects.h"
+
+namespace facsp::sim {
+
+unsigned ThreadPool::resolve_threads(int requested) noexcept {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : size_(threads == 0 ? resolve_threads(0) : threads) {
+  if (size_ < 2) return;  // inline mode: no workers, no locking
+  workers_.reserve(size_);
+  for (unsigned i = 0; i < size_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and queue drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+    if (queue_.empty() && running_ == 0) idle_.notify_all();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  FACSP_EXPECTS(static_cast<bool>(task));
+  if (workers_.empty()) {  // inline mode
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t chunk) {
+  FACSP_EXPECTS(static_cast<bool>(body));
+  FACSP_EXPECTS(chunk >= 1);
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Per-call scheduling state, shared between the queued helper tasks and
+  // this (participating) caller.  Chunks are handed out by fetch_add — a
+  // one-counter work queue: whichever thread is free next grabs the next
+  // chunk, so uneven cell costs balance automatically.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::atomic<int> pending{0};  ///< queued helper tasks still running
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+
+  auto run_chunks = [state, count, chunk, &body] {
+    for (;;) {
+      if (state->failed.load(std::memory_order_relaxed)) return;
+      const std::size_t begin =
+          state->next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + chunk, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  // The caller is one of the `size_` executors, so only size_ - 1 helper
+  // tasks are queued — exactly `size_` threads run the body concurrently,
+  // never size_ + 1.  `body` stays alive because this call blocks below
+  // until every helper reported completion.
+  const int helpers = static_cast<int>(size_) - 1;
+  state->pending.store(helpers, std::memory_order_relaxed);
+  for (int i = 0; i < helpers; ++i) {
+    submit([state, run_chunks] {
+      run_chunks();
+      if (state->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(state->mu);
+        state->done.notify_all();
+      }
+    });
+  }
+  run_chunks();  // the caller pitches in instead of just waiting
+
+  std::unique_lock lock(state->mu);
+  state->done.wait(lock, [&] {
+    return state->pending.load(std::memory_order_acquire) == 0;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace facsp::sim

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <set>
+
 #include "common/error.h"
 #include "core/paper.h"
 
@@ -96,6 +100,47 @@ TEST(Experiment, InvalidSweepRejected) {
   zero_reps.n_values = {10};
   zero_reps.replications = 0;
   EXPECT_THROW(exp.run(zero_reps), ContractViolation);
+}
+
+TEST(Experiment, DriverAndPolicySeedComponentsNeverAlias) {
+  // Regression for the latent aliasing in run_single: the driver's streams
+  // are rooted at hash_seed(seed, "driver", r) and the policy's RngFactory
+  // at hash_seed(seed, "policy", r) — two distinct components of the same
+  // (seed, replication) pair.  No (component, replication) pair may ever
+  // yield the seed of the other component at any replication, or a
+  // randomised policy's draws could correlate with the workload.
+  const std::uint64_t seed = quick_scenario().seed;
+  std::set<std::uint64_t> driver_seeds, policy_seeds;
+  for (std::uint64_t r = 0; r < 1000; ++r) {
+    driver_seeds.insert(sim::hash_seed(seed, "driver", r));
+    policy_seeds.insert(sim::hash_seed(seed, "policy", r));
+  }
+  EXPECT_EQ(driver_seeds.size(), 1000u);
+  EXPECT_EQ(policy_seeds.size(), 1000u);
+  std::vector<std::uint64_t> overlap;
+  std::set_intersection(driver_seeds.begin(), driver_seeds.end(),
+                        policy_seeds.begin(), policy_seeds.end(),
+                        std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty());
+}
+
+TEST(Experiment, PolicyRngConsumptionCannotPerturbWorkload) {
+  // A fractional guard channel with an infinitesimal guard decides exactly
+  // like complete sharing (p is always 1) but burns one policy-RNG draw per
+  // fitting new call; complete sharing draws nothing.  With the driver's
+  // streams rooted in their own "driver" component, those extra draws must
+  // not perturb the workload or the run in any way.
+  const auto scen = quick_scenario();
+  Experiment cs(scen, make_complete_sharing_factory(), "CS");
+  Experiment fgc(scen, make_fractional_guard_factory(1e-9), "FGCeps");
+  for (std::uint64_t r : {0ull, 1ull, 7ull}) {
+    const RunResult a = cs.run_single(25, r);
+    const RunResult b = fgc.run_single(25, r);
+    EXPECT_EQ(a.metrics.offered_new(), b.metrics.offered_new());
+    EXPECT_EQ(a.metrics.accepted_new(), b.metrics.accepted_new());
+    EXPECT_EQ(a.metrics.handoff_attempts(), b.metrics.handoff_attempts());
+    EXPECT_EQ(a.events, b.events);
+  }
 }
 
 TEST(Experiment, FacsFactoryResolvesCellRadiusFromNetwork) {

@@ -1,0 +1,141 @@
+#include "core/parallel_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/paper.h"
+
+namespace facsp::core {
+namespace {
+
+ScenarioConfig quick_scenario() {
+  ScenarioConfig s = paper_scenario(3);
+  s.traffic.arrival_window_s = 300.0;
+  s.traffic.mean_holding_s = 120.0;
+  return s;
+}
+
+SweepConfig small_sweep(int threads) {
+  SweepConfig sweep;
+  sweep.n_values = {5, 12, 20};
+  sweep.replications = 4;
+  sweep.threads = threads;
+  return sweep;
+}
+
+// Bit-identical means exact double equality on every aggregate — no
+// EXPECT_NEAR anywhere in this file.
+void expect_bit_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const SweepPoint& pa = a.points[i];
+    const SweepPoint& pb = b.points[i];
+    EXPECT_EQ(pa.n, pb.n);
+    const std::pair<const sim::SummaryStats*, const sim::SummaryStats*>
+        stats[] = {
+            {&pa.acceptance_percent, &pb.acceptance_percent},
+            {&pa.dropping_percent, &pb.dropping_percent},
+            {&pa.utilization_percent, &pb.utilization_percent},
+            {&pa.completion_percent, &pb.completion_percent},
+        };
+    for (const auto& [sa, sb] : stats) {
+      EXPECT_EQ(sa->count(), sb->count());
+      EXPECT_EQ(sa->mean(), sb->mean());
+      EXPECT_EQ(sa->variance(), sb->variance());
+      EXPECT_EQ(sa->min(), sb->min());
+      EXPECT_EQ(sa->max(), sb->max());
+      EXPECT_EQ(sa->ci_half_width(0.95), sb->ci_half_width(0.95));
+    }
+  }
+}
+
+class ParallelSweepPolicies
+    : public ::testing::TestWithParam<std::pair<const char*, PolicyFactory>> {
+};
+
+// FACS-P exercises the fuzzy fast path (per-cell InferenceScratch); the
+// fractional guard channel exercises the per-cell policy RNG stream.
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ParallelSweepPolicies,
+    ::testing::Values(std::pair<const char*, PolicyFactory>{
+                          "FACSP", make_facs_p_factory()},
+                      std::pair<const char*, PolicyFactory>{
+                          "FGC", make_fractional_guard_factory(4.0)}),
+    [](const auto& info) { return std::string(info.param.first); });
+
+TEST_P(ParallelSweepPolicies, BitIdenticalToSerialForEveryThreadCount) {
+  const auto& [name, factory] = GetParam();
+  const ScenarioConfig scen = quick_scenario();
+  const SweepResult serial =
+      Experiment(scen, factory, name).run(small_sweep(0));
+  for (int threads : {1, 2, 8}) {
+    const SweepResult parallel =
+        ParallelSweepRunner(scen, factory, name).run(small_sweep(threads));
+    EXPECT_EQ(parallel.policy_name, name);
+    SCOPED_TRACE(std::string(name) + " threads=" + std::to_string(threads));
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST(ParallelSweep, TwoParallelRunsWithSameSeedAgree) {
+  const ScenarioConfig scen = quick_scenario();
+  ParallelSweepRunner runner(scen, make_facs_p_factory(), "FACS-P");
+  const SweepResult a = runner.run(small_sweep(8));
+  const SweepResult b = runner.run(small_sweep(8));
+  expect_bit_identical(a, b);
+}
+
+TEST(ParallelSweep, CellMetricsComeBackInReplicationOrder) {
+  const ScenarioConfig scen = quick_scenario();
+  ParallelSweepRunner runner(scen, make_complete_sharing_factory(), "CS");
+  std::vector<CellMetrics> cells;
+  const SweepConfig sweep = small_sweep(4);
+  const SweepResult res = runner.run(sweep, &cells);
+  ASSERT_EQ(cells.size(),
+            sweep.n_values.size() * static_cast<std::size_t>(sweep.replications));
+  std::size_t i = 0;
+  for (int n : sweep.n_values) {
+    for (int r = 0; r < sweep.replications; ++r, ++i) {
+      EXPECT_EQ(cells[i].n, n);
+      EXPECT_EQ(cells[i].replication, static_cast<std::uint64_t>(r));
+    }
+  }
+  // The cells are the exact values the aggregates were reduced from.
+  sim::SummaryStats acc;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(sweep.replications); ++c)
+    acc.add(cells[c].acceptance_percent);
+  EXPECT_EQ(acc.mean(), res.points[0].acceptance_percent.mean());
+}
+
+TEST(ParallelSweep, MatchesSerialOnThePaperGridSubset) {
+  // One paper-grid point at realistic load, full FACS-P stack: the shape the
+  // benches actually run.
+  ScenarioConfig scen = quick_scenario();
+  SweepConfig sweep;
+  sweep.n_values = {60};
+  sweep.replications = 3;
+  sweep.threads = 8;
+  const SweepResult serial =
+      Experiment(scen, make_facs_p_factory(), "FACS-P").run(sweep);
+  const SweepResult parallel =
+      ParallelSweepRunner(scen, make_facs_p_factory(), "FACS-P").run(sweep);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(ParallelSweep, InvalidSweepRejected) {
+  ParallelSweepRunner runner(quick_scenario(), make_complete_sharing_factory(),
+                             "CS");
+  SweepConfig empty;
+  EXPECT_THROW(runner.run(empty), ContractViolation);
+  SweepConfig zero_reps;
+  zero_reps.n_values = {10};
+  zero_reps.replications = 0;
+  EXPECT_THROW(runner.run(zero_reps), ContractViolation);
+  SweepConfig negative_threads;
+  negative_threads.n_values = {10};
+  negative_threads.threads = -2;
+  EXPECT_THROW(runner.run(negative_threads), ContractViolation);
+}
+
+}  // namespace
+}  // namespace facsp::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -102,6 +103,79 @@ TEST(EventQueue, EmptyQueueAccessorsThrow) {
   EventQueue q;
   EXPECT_THROW(q.next_time(), ContractViolation);
   EXPECT_THROW(q.run_next(), ContractViolation);
+}
+
+// --- tie-break hardening ---------------------------------------------------
+// The parallel sweep's bit-identical guarantee silently depends on events at
+// equal timestamps popping in FIFO insertion order (a plain heap would make
+// tie order an implementation accident).  These tests pin the property down
+// in the shapes the simulator actually produces.
+
+TEST(EventQueue, TiesFifoEvenWhenInsertedNonContiguously) {
+  // Ties interleaved with other timestamps: FIFO order is per-timestamp
+  // scheduling order, not global insertion adjacency.
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule(2.0, [&] { order.push_back("a@2"); });
+  q.schedule(1.0, [&] { order.push_back("x@1"); });
+  q.schedule(2.0, [&] { order.push_back("b@2"); });
+  q.schedule(1.0, [&] { order.push_back("y@1"); });
+  q.schedule(2.0, [&] { order.push_back("c@2"); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<std::string>{"x@1", "y@1", "a@2", "b@2",
+                                             "c@2"}));
+}
+
+TEST(EventQueue, TiesFifoSurvivesCancellation) {
+  // Cancelling members of a tie group must not disturb the order of the
+  // survivors (lazy deletion keeps heap entries around).
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i)
+    handles.push_back(q.schedule(5.0, [&, i] { order.push_back(i); }));
+  for (int i = 1; i < 10; i += 2) EXPECT_TRUE(q.cancel(handles[i]));
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8}));
+}
+
+TEST(EventQueue, TiesScheduledFromRunningEventFireAfterExistingTies) {
+  // An action that schedules more work at the *current* timestamp gets a
+  // later sequence number, so it runs after everything already queued there.
+  EventQueue q;
+  std::vector<std::string> order;
+  q.schedule(1.0, [&] {
+    order.push_back("first");
+    q.schedule(1.0, [&] { order.push_back("nested"); });
+  });
+  q.schedule(1.0, [&] { order.push_back("second"); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"first", "second", "nested"}));
+}
+
+TEST(EventQueue, TieBreakStressScrambledInsertion) {
+  // 1000 events over 10 shared timestamps, inserted in a scrambled but
+  // deterministic order; within each timestamp they must pop in exactly the
+  // order they were scheduled.
+  EventQueue q;
+  std::vector<std::vector<int>> fired(10);   // per-timestamp pop order
+  std::vector<std::vector<int>> expected(10);
+  std::vector<double> pop_times;
+  for (int i = 0; i < 1000; ++i) {
+    const int k = (i * 7919) % 1000;  // 7919 coprime with 1000: a permutation
+    const int t = k % 10;
+    expected[t].push_back(k);
+    q.schedule(static_cast<double>(t),
+               [&fired, &pop_times, t, k] {
+                 fired[t].push_back(k);
+                 pop_times.push_back(static_cast<double>(t));
+               });
+  }
+  while (!q.empty()) q.run_next();
+  for (int t = 0; t < 10; ++t) EXPECT_EQ(fired[t], expected[t]) << "t=" << t;
+  for (std::size_t i = 1; i < pop_times.size(); ++i)
+    EXPECT_LE(pop_times[i - 1], pop_times[i]);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {
