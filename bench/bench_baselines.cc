@@ -12,7 +12,7 @@ int main() {
   // Background traffic in every cell so handoffs actually contend — the
   // dropping comparison is the point of this bench.
   auto scenario = core::paper_scenario();
-  scenario.background_traffic = true;
+  scenario.spatial.kind = workload::SpatialKind::kUniform;
   const auto sweep = core::SweepConfig::paper_grid(replications());
 
   const std::vector<NamedPolicy> policies = {

@@ -1,0 +1,122 @@
+// Workload-generation bench: request throughput per arrival process, plus a
+// steady-state allocation audit of the default path.
+//
+// A replacement global operator new counts every heap allocation (the same
+// harness as tests/fuzzy/test_zero_alloc.cc); after a warm-up batch the
+// default conditioned-uniform (Poisson) path must generate batches with
+// ZERO further allocations — the binary fails loudly otherwise.  The other
+// processes are measured for throughput only (they keep per-batch scratch:
+// phase paths, rejection sampling).
+//
+// Committed numbers live in BENCH_workload.json.  Overrides:
+//   FACSP_BENCH_BATCHES   batches per process timing loop (default 2000)
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cellular/traffic.h"
+#include "workload/arrival.h"
+
+using namespace facsp;
+
+namespace {
+
+int batches() {
+  if (const char* env = std::getenv("FACSP_BENCH_BATCHES")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 2000;
+}
+
+cellular::TrafficGenerator make_generator(workload::ArrivalKind kind,
+                                          const cellular::HexLayout& layout) {
+  cellular::TrafficConfig cfg;  // paper defaults
+  cfg.arrival.kind = kind;
+  return cellular::TrafficGenerator(cfg, layout, cellular::HexCoord{0, 0},
+                                    cellular::Point{0.0, 0.0},
+                                    sim::RandomStream(42));
+}
+
+}  // namespace
+
+int main() {
+  const cellular::HexLayout layout(2000.0);
+  constexpr int kBatchN = 100;  // the paper grid's heaviest point
+  const int kBatches = batches();
+
+  std::printf("=== Workload generation: %d-request batches x %d ===\n\n",
+              kBatchN, kBatches);
+  std::printf("  %-10s %14s %16s\n", "process", "Mreq/s", "allocs/batch");
+
+  std::string json = "{";
+  int failures = 0;
+  for (const workload::ArrivalKind kind :
+       {workload::ArrivalKind::kConditionedUniform,
+        workload::ArrivalKind::kOnOff, workload::ArrivalKind::kDiurnal,
+        workload::ArrivalKind::kFlashCrowd}) {
+    auto gen = make_generator(kind, layout);
+    std::vector<cellular::CallRequest> out;
+    gen.generate_into(kBatchN, 0.0, out);  // size every buffer
+
+    const std::size_t alloc_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int b = 0; b < kBatches; ++b)
+      gen.generate_into(kBatchN, b * 1000.0, out);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double allocs_per_batch =
+        static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) -
+                            alloc_before) /
+        kBatches;
+    const double mreq_s =
+        static_cast<double>(kBatchN) * kBatches / secs / 1e6;
+
+    const std::string name(workload::arrival_kind_name(kind));
+    std::printf("  %-10s %14.2f %16.2f\n", name.c_str(), mreq_s,
+                allocs_per_batch);
+    json += (json.size() > 1 ? ", " : "") + std::string("\"") + name +
+            "_mreq_s\": " + std::to_string(mreq_s) + ", \"" + name +
+            "_allocs_per_batch\": " + std::to_string(allocs_per_batch);
+
+    // The default (Poisson/conditioned-uniform) path is the one every
+    // paper-grid replication runs: it must stay allocation-free once warm.
+    if (kind == workload::ArrivalKind::kConditionedUniform &&
+        allocs_per_batch != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: default arrival path allocated %.2f times per "
+                   "steady-state batch (expected 0)\n",
+                   allocs_per_batch);
+      ++failures;
+    }
+  }
+  json += "}";
+  std::printf("\n  json: %s\n", json.c_str());
+  return failures == 0 ? 0 : 1;
+}

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   auto scenario = core::paper_scenario();
   scenario.rings = 2;                 // 19 cells
-  scenario.background_traffic = true; // everyone is busy downtown
+  scenario.spatial.kind = workload::SpatialKind::kUniform; // everyone is busy downtown
 
   struct Candidate {
     const char* label;

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   auto scenario = core::paper_scenario();
   scenario.rings = 2;
-  scenario.background_traffic = true;
+  scenario.spatial.kind = workload::SpatialKind::kUniform;
   scenario.traffic.fixed_speed_kmh = 100.0;  // everyone is on the move
   scenario.traffic.mean_holding_s = 360.0;   // long calls -> many handoffs
 

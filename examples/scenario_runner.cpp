@@ -1,9 +1,12 @@
-// Scenario runner: drive any experiment from a plain config file — no
-// recompilation, shareable setups.
+// Scenario runner: drive any experiment from a plain config file or the
+// named scenario catalog — no recompilation, shareable setups.
 //
-//   $ ./scenario_runner --dump-default           # print a template config
-//   $ ./scenario_runner my.cfg facs-p 60 16      # file, policy, N, reps
-//   $ ./scenario_runner my.cfg facs-p 60 16 8    # ... on 8 worker threads
+//   $ ./scenario_runner --list-scenarios          # catalog names + blurbs
+//   $ ./scenario_runner --dump-default            # print a template config
+//   $ ./scenario_runner --dump-scenario highway   # any catalog entry as cfg
+//   $ ./scenario_runner my.cfg facs-p 60 16       # file, policy, N, reps
+//   $ ./scenario_runner my.cfg facs-p 60 16 8     # ... on 8 worker threads
+//   $ ./scenario_runner --scenario bursty-onoff facs-p 60 16
 //
 // Policies: facs-p | facs | scc | gc | fgc | cs
 // The thread count (0 = hardware concurrency) only changes wall-clock time:
@@ -19,6 +22,7 @@
 #include "core/config_io.h"
 #include "core/parallel_sweep.h"
 #include "core/paper.h"
+#include "workload/catalog.h"
 
 using namespace facsp;
 
@@ -35,30 +39,60 @@ core::PolicyFactory policy_by_name(const std::string& name) {
                     "' (facs-p|facs|scc|gc|fgc|cs)");
 }
 
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --list-scenarios\n"
+               "       %s --dump-default\n"
+               "       %s --dump-scenario <name>\n"
+               "       %s <config-file> <policy> [N=60] [reps=8] [threads=1]\n"
+               "       %s --scenario <name> <policy> [N=60] [reps=8] "
+               "[threads=1]\n",
+               argv0, argv0, argv0, argv0, argv0);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
+    if (argc == 2 && std::strcmp(argv[1], "--list-scenarios") == 0) {
+      for (const auto& entry : workload::ScenarioCatalog::instance().entries())
+        std::printf("%-14s %s\n", entry.name.c_str(),
+                    entry.description.c_str());
+      return 0;
+    }
     if (argc == 2 && std::strcmp(argv[1], "--dump-default") == 0) {
       core::save_scenario(core::paper_scenario(), std::cout);
       return 0;
     }
-    if (argc < 3 || argc > 6) {
-      std::fprintf(stderr,
-                   "usage: %s --dump-default\n"
-                   "       %s <config-file> <policy> [N=60] [reps=8] "
-                   "[threads=1]\n",
-                   argv[0], argv[0]);
-      return 1;
+    if (argc == 3 && std::strcmp(argv[1], "--dump-scenario") == 0) {
+      core::save_scenario(workload::catalog_scenario(argv[2]), std::cout);
+      return 0;
     }
+    if (argc < 3) return usage(argv[0]);
 
-    const auto scenario = core::load_scenario_file(argv[1]);
-    const std::string policy_name = argv[2];
-    const int n = argc > 3 ? std::atoi(argv[3]) : 60;
-    const int reps = argc > 4 ? std::atoi(argv[4]) : 8;
-    const int threads = argc > 5 ? std::atoi(argv[5]) : 1;
+    // Either "--scenario <name>" (catalog) or "<config-file>" selects the
+    // scenario; the remaining arguments are identical for both forms.
+    core::ScenarioConfig scenario;
+    std::string scenario_label;
+    int arg = 1;
+    if (std::strcmp(argv[1], "--scenario") == 0) {
+      if (argc < 4 || argc > 7) return usage(argv[0]);
+      scenario_label = argv[2];
+      scenario = workload::catalog_scenario(scenario_label);
+      arg = 3;
+    } else {
+      if (argc > 6) return usage(argv[0]);
+      scenario_label = argv[1];
+      scenario = core::load_scenario_file(scenario_label);
+      arg = 2;
+    }
+    const std::string policy_name = argv[arg];
+    const int n = argc > arg + 1 ? std::atoi(argv[arg + 1]) : 60;
+    const int reps = argc > arg + 2 ? std::atoi(argv[arg + 2]) : 8;
+    const int threads = argc > arg + 3 ? std::atoi(argv[arg + 3]) : 1;
 
-    std::cout << "scenario: " << argv[1] << "  policy: " << policy_name
+    std::cout << "scenario: " << scenario_label << "  policy: " << policy_name
               << "  N=" << n << "  replications=" << reps
               << "  threads=" << (threads == 0 ? "auto" : std::to_string(threads))
               << "\n\n";

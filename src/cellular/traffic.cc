@@ -11,6 +11,8 @@ namespace facsp::cellular {
 
 void TrafficConfig::validate() const {
   mix.validate();
+  arrival.validate();
+  mix_schedule.validate();
   if (arrival_window_s < 0.0)
     throw ConfigError("traffic: arrival window must be >= 0");
   if (mean_holding_s <= 0.0)
@@ -33,27 +35,45 @@ TrafficGenerator::TrafficGenerator(TrafficConfig config,
                                    HexCoord spawn_cell, Point bs_position,
                                    sim::RandomStream rng,
                                    ConnectionId first_id)
-    : config_(config),
+    : config_(std::move(config)),
       layout_(layout),
       spawn_cell_(spawn_cell),
       bs_position_(bs_position),
       rng_(rng),
       next_id_(first_id) {
+  // Validate before constructing the distributions: discrete_distribution
+  // requires non-negative weights, which only validate() guarantees.
   config_.validate();
+  arrival_ = workload::make_arrival_process(config_.arrival);
+  priority_dist_ = std::discrete_distribution<std::size_t>(
+      {config_.priority_low, config_.priority_normal, config_.priority_high});
+  rebuild_service_dist(config_.mix);
 }
 
-CallRequest TrafficGenerator::make_request(sim::SimTime arrival) {
+void TrafficGenerator::rebuild_service_dist(const TrafficMix& mix) {
+  service_dist_ = std::discrete_distribution<std::size_t>(
+      {mix.text, mix.voice, mix.video});
+}
+
+CallRequest TrafficGenerator::make_request(sim::SimTime arrival,
+                                           sim::SimTime t0) {
   CallRequest req;
   req.id = next_id_++;
   req.arrival_time = arrival;
 
-  const std::size_t svc = rng_.discrete(
-      {config_.mix.text, config_.mix.voice, config_.mix.video});
-  req.service = kAllServices[svc];
+  if (!config_.mix_schedule.empty()) {
+    const int seg = config_.mix_schedule.segment_at(arrival - t0);
+    if (seg != active_mix_segment_) {
+      rebuild_service_dist(
+          seg < 0 ? config_.mix
+                  : config_.mix_schedule.segments()
+                        [static_cast<std::size_t>(seg)].mix);
+      active_mix_segment_ = seg;
+    }
+  }
+  req.service = kAllServices[service_dist_(rng_.engine())];
   req.bandwidth = service_bandwidth(req.service);
-  req.priority = kAllPriorities[rng_.discrete(
-      {config_.priority_low, config_.priority_normal,
-       config_.priority_high})];
+  req.priority = kAllPriorities[priority_dist_(rng_.engine())];
   req.holding_time = rng_.exponential(config_.mean_holding_s);
 
   req.mobile.position = layout_.random_point_in_cell(
@@ -77,17 +97,27 @@ CallRequest TrafficGenerator::make_request(sim::SimTime arrival) {
   return req;
 }
 
-std::vector<CallRequest> TrafficGenerator::generate(int n, sim::SimTime t0) {
+void TrafficGenerator::generate_into(int n, sim::SimTime t0,
+                                     std::vector<CallRequest>& out) {
   FACSP_EXPECTS(n >= 0);
-  std::vector<sim::SimTime> arrivals;
-  arrivals.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i)
-    arrivals.push_back(t0 + rng_.uniform(0.0, config_.arrival_window_s));
-  std::sort(arrivals.begin(), arrivals.end());
+  arrival_->generate(n, t0, config_.arrival_window_s, rng_, arrival_scratch_);
 
-  std::vector<CallRequest> out;
+  // Arrivals are sorted, so mix-schedule segments advance monotonically
+  // within a batch; reset the cache so each batch starts from the base mix.
+  if (!config_.mix_schedule.empty()) {
+    rebuild_service_dist(config_.mix);
+    active_mix_segment_ = -1;
+  }
+
+  out.clear();
   out.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) out.push_back(make_request(arrivals[i]));
+  for (sim::SimTime arrival : arrival_scratch_)
+    out.push_back(make_request(arrival, t0));
+}
+
+std::vector<CallRequest> TrafficGenerator::generate(int n, sim::SimTime t0) {
+  std::vector<CallRequest> out;
+  generate_into(n, t0, out);
   return out;
 }
 

@@ -4,9 +4,15 @@
 // 70/20/10 (text/voice/video) at 1/5/10 BU.  The x-axis of every figure is
 // "number of requesting connections" N: a batch of N requests whose arrival
 // times spread over a finite window, contending for the cell's 40 BU.
+//
+// *When* the N requests land inside the window is delegated to a pluggable
+// workload::ArrivalProcess (default: the paper's conditioned-uniform /
+// Poisson behaviour); *what* they ask for can vary over the window through a
+// workload::MixSchedule (default: the constant configured mix).
 #pragma once
 
 #include <optional>
+#include <random>
 #include <vector>
 
 #include "cellular/connection.h"
@@ -14,6 +20,8 @@
 #include "cellular/mobility.h"
 #include "cellular/service.h"
 #include "sim/rng.h"
+#include "workload/arrival.h"
+#include "workload/mix_schedule.h"
 
 namespace facsp::cellular {
 
@@ -32,8 +40,16 @@ struct CallRequest {
 struct TrafficConfig {
   TrafficMix mix{};
 
-  /// Requests arrive uniformly at random over [t0, t0 + arrival_window_s]
-  /// (the order statistics of a Poisson process conditioned on N arrivals).
+  /// How the batch's arrival times are placed inside the window.  The
+  /// default (conditioned uniform) reproduces the paper: requests arrive
+  /// uniformly at random over [t0, t0 + arrival_window_s] (the order
+  /// statistics of a Poisson process conditioned on N arrivals).
+  workload::ArrivalSpec arrival{};
+
+  /// Time-varying service mix; empty = `mix` applies for the whole window.
+  workload::MixSchedule mix_schedule{};
+
+  /// Length of the arrival window (seconds).
   double arrival_window_s = 900.0;
 
   /// Mean exponential call holding time.  300 s against a 900 s window makes
@@ -76,10 +92,19 @@ class TrafficGenerator {
   /// passed at the previous call (fresh generator starts at 1).
   std::vector<CallRequest> generate(int n, sim::SimTime t0 = 0.0);
 
+  /// Like generate(), but fills `out` (cleared first) reusing its capacity
+  /// and the internal arrival-time scratch: with the default arrival process
+  /// and a constant mix, steady-state calls perform no heap allocation.
+  void generate_into(int n, sim::SimTime t0, std::vector<CallRequest>& out);
+
   const TrafficConfig& config() const noexcept { return config_; }
+  const workload::ArrivalProcess& arrival_process() const noexcept {
+    return *arrival_;
+  }
 
  private:
-  CallRequest make_request(sim::SimTime arrival);
+  CallRequest make_request(sim::SimTime arrival, sim::SimTime t0);
+  void rebuild_service_dist(const TrafficMix& mix);
 
   TrafficConfig config_;
   const HexLayout& layout_;
@@ -87,6 +112,14 @@ class TrafficGenerator {
   Point bs_position_;
   sim::RandomStream rng_;
   ConnectionId next_id_ = 1;
+  std::unique_ptr<workload::ArrivalProcess> arrival_;
+  std::vector<sim::SimTime> arrival_scratch_;
+  /// Cached distributions (identical draws to constructing them per request,
+  /// without the per-request heap allocation).  The service distribution is
+  /// rebuilt only when a mix-schedule segment boundary is crossed.
+  std::discrete_distribution<std::size_t> service_dist_;
+  std::discrete_distribution<std::size_t> priority_dist_;
+  int active_mix_segment_ = -1;
 };
 
 }  // namespace facsp::cellular

@@ -1,6 +1,7 @@
 #include "core/config_io.h"
 
 #include <cctype>
+#include <charconv>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -35,6 +36,14 @@ double parse_double(const std::string& v) {
   return x;
 }
 
+/// Shortest decimal that parses back to exactly the same double — dumped
+/// configs must reproduce the in-memory scenario bit for bit.
+std::string print_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, end);
+}
+
 bool parse_bool(const std::string& v) {
   if (v == "true" || v == "1") return true;
   if (v == "false" || v == "0") return false;
@@ -46,11 +55,7 @@ const std::map<std::string, Field>& registry() {
     std::map<std::string, Field> f;
     auto add_double = [&f](const std::string& key, auto getter, auto setter) {
       f[key] = Field{
-          [getter](const ScenarioConfig& s) {
-            std::ostringstream os;
-            os << getter(s);
-            return os.str();
-          },
+          [getter](const ScenarioConfig& s) { return print_double(getter(s)); },
           [setter](ScenarioConfig& s, const std::string& v) {
             setter(s, parse_double(v));
           }};
@@ -70,13 +75,26 @@ const std::map<std::string, Field>& registry() {
     add_double(
         "capacity_bu", [](const ScenarioConfig& s) { return s.capacity_bu; },
         [](ScenarioConfig& s, double v) { s.capacity_bu = v; });
-    f["background_traffic"] = Field{
+    // spatial.*  (polymorphic: the kind selects which knobs apply)
+    f["spatial.kind"] = Field{
         [](const ScenarioConfig& s) {
-          return std::string(s.background_traffic ? "true" : "false");
+          return std::string(workload::spatial_kind_name(s.spatial.kind));
         },
         [](ScenarioConfig& s, const std::string& v) {
-          s.background_traffic = parse_bool(v);
+          s.spatial.kind = workload::spatial_kind_from_name(v);
         }};
+    add_double(
+        "spatial.hotspot_decay",
+        [](const ScenarioConfig& s) { return s.spatial.hotspot_decay; },
+        [](ScenarioConfig& s, double v) { s.spatial.hotspot_decay = v; });
+    add_double(
+        "spatial.highway_halfwidth_m",
+        [](const ScenarioConfig& s) { return s.spatial.highway_halfwidth_m; },
+        [](ScenarioConfig& s, double v) { s.spatial.highway_halfwidth_m = v; });
+    add_double(
+        "spatial.highway_off_weight",
+        [](const ScenarioConfig& s) { return s.spatial.highway_off_weight; },
+        [](ScenarioConfig& s, double v) { s.spatial.highway_off_weight = v; });
     f["enable_mobility"] = Field{
         [](const ScenarioConfig& s) {
           return std::string(s.enable_mobility ? "true" : "false");
@@ -121,11 +139,105 @@ const std::map<std::string, Field>& registry() {
         "traffic.max_speed_kmh",
         [](const ScenarioConfig& s) { return s.traffic.max_speed_kmh; },
         [](ScenarioConfig& s, double v) { s.traffic.max_speed_kmh = v; });
+    add_double(
+        "traffic.priority_low",
+        [](const ScenarioConfig& s) { return s.traffic.priority_low; },
+        [](ScenarioConfig& s, double v) { s.traffic.priority_low = v; });
+    add_double(
+        "traffic.priority_normal",
+        [](const ScenarioConfig& s) { return s.traffic.priority_normal; },
+        [](ScenarioConfig& s, double v) { s.traffic.priority_normal = v; });
+    add_double(
+        "traffic.priority_high",
+        [](const ScenarioConfig& s) { return s.traffic.priority_high; },
+        [](ScenarioConfig& s, double v) { s.traffic.priority_high = v; });
+
+    // traffic.arrival.*  (polymorphic: the kind selects which knobs apply)
+    f["traffic.arrival.kind"] = Field{
+        [](const ScenarioConfig& s) {
+          return std::string(
+              workload::arrival_kind_name(s.traffic.arrival.kind));
+        },
+        [](ScenarioConfig& s, const std::string& v) {
+          s.traffic.arrival.kind = workload::arrival_kind_from_name(v);
+        }};
+    add_double(
+        "traffic.arrival.on_rate",
+        [](const ScenarioConfig& s) { return s.traffic.arrival.on_rate; },
+        [](ScenarioConfig& s, double v) { s.traffic.arrival.on_rate = v; });
+    add_double(
+        "traffic.arrival.off_rate",
+        [](const ScenarioConfig& s) { return s.traffic.arrival.off_rate; },
+        [](ScenarioConfig& s, double v) { s.traffic.arrival.off_rate = v; });
+    add_double(
+        "traffic.arrival.mean_on_s",
+        [](const ScenarioConfig& s) { return s.traffic.arrival.mean_on_s; },
+        [](ScenarioConfig& s, double v) { s.traffic.arrival.mean_on_s = v; });
+    add_double(
+        "traffic.arrival.mean_off_s",
+        [](const ScenarioConfig& s) { return s.traffic.arrival.mean_off_s; },
+        [](ScenarioConfig& s, double v) { s.traffic.arrival.mean_off_s = v; });
+    add_double(
+        "traffic.arrival.diurnal_amplitude",
+        [](const ScenarioConfig& s) {
+          return s.traffic.arrival.diurnal_amplitude;
+        },
+        [](ScenarioConfig& s, double v) {
+          s.traffic.arrival.diurnal_amplitude = v;
+        });
+    add_double(
+        "traffic.arrival.diurnal_period_s",
+        [](const ScenarioConfig& s) {
+          return s.traffic.arrival.diurnal_period_s;
+        },
+        [](ScenarioConfig& s, double v) {
+          s.traffic.arrival.diurnal_period_s = v;
+        });
+    add_double(
+        "traffic.arrival.diurnal_phase_rad",
+        [](const ScenarioConfig& s) {
+          return s.traffic.arrival.diurnal_phase_rad;
+        },
+        [](ScenarioConfig& s, double v) {
+          s.traffic.arrival.diurnal_phase_rad = v;
+        });
+    add_double(
+        "traffic.arrival.flash_fraction",
+        [](const ScenarioConfig& s) {
+          return s.traffic.arrival.flash_fraction;
+        },
+        [](ScenarioConfig& s, double v) {
+          s.traffic.arrival.flash_fraction = v;
+        });
+    add_double(
+        "traffic.arrival.flash_start_s",
+        [](const ScenarioConfig& s) { return s.traffic.arrival.flash_start_s; },
+        [](ScenarioConfig& s, double v) {
+          s.traffic.arrival.flash_start_s = v;
+        });
+    add_double(
+        "traffic.arrival.flash_duration_s",
+        [](const ScenarioConfig& s) {
+          return s.traffic.arrival.flash_duration_s;
+        },
+        [](ScenarioConfig& s, double v) {
+          s.traffic.arrival.flash_duration_s = v;
+        });
+
+    // Time-varying mix: "none" or "start:text/voice/video;start:..."
+    f["traffic.mix_schedule"] = Field{
+        [](const ScenarioConfig& s) {
+          return s.traffic.mix_schedule.to_string();
+        },
+        [](ScenarioConfig& s, const std::string& v) {
+          s.traffic.mix_schedule = workload::MixSchedule::from_string(v);
+        }};
+
     // Optional fields: "none" disables them.
     f["traffic.fixed_speed_kmh"] = Field{
         [](const ScenarioConfig& s) {
           return s.traffic.fixed_speed_kmh
-                     ? std::to_string(*s.traffic.fixed_speed_kmh)
+                     ? print_double(*s.traffic.fixed_speed_kmh)
                      : std::string("none");
         },
         [](ScenarioConfig& s, const std::string& v) {
@@ -137,7 +249,7 @@ const std::map<std::string, Field>& registry() {
     f["traffic.fixed_angle_deg"] = Field{
         [](const ScenarioConfig& s) {
           return s.traffic.fixed_angle_deg
-                     ? std::to_string(*s.traffic.fixed_angle_deg)
+                     ? print_double(*s.traffic.fixed_angle_deg)
                      : std::string("none");
         },
         [](ScenarioConfig& s, const std::string& v) {

@@ -10,6 +10,7 @@ void ScenarioConfig::validate() const {
     throw ConfigError("scenario: cell radius must be > 0");
   if (capacity_bu <= 0.0) throw ConfigError("scenario: capacity must be > 0");
   traffic.validate();
+  spatial.validate();
   if (mobility_update_s <= 0.0)
     throw ConfigError("scenario: mobility update period must be > 0");
   if (horizon_s <= 0.0) throw ConfigError("scenario: horizon must be > 0");

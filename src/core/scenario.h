@@ -7,6 +7,7 @@
 #include "cellular/mobility.h"
 #include "cellular/service.h"
 #include "cellular/traffic.h"
+#include "workload/spatial.h"
 
 namespace facsp::core {
 
@@ -23,12 +24,13 @@ struct ScenarioConfig {
 
   // --- workload ------------------------------------------------------------
   cellular::TrafficConfig traffic{};
-  /// When true, every cell (not just the centre) generates the same number
-  /// of requesting connections toward its own base station; the headline
-  /// metrics are still measured on centre-cell requests.  Off by default:
-  /// the paper's figures are single-BS measurements; turning it on gives a
-  /// uniformly loaded network (see the handoff_storm example).
-  bool background_traffic = false;
+  /// Where requests are generated over the grid.  Each cell's request count
+  /// is `weight * N` with the weight from this map; the headline metrics are
+  /// always measured on centre-cell requests.  Default (center): only the
+  /// centre generates — the paper's single-BS measurement.  `uniform`
+  /// reproduces the old background_traffic=true behaviour; `hotspot` and
+  /// `highway` shape the surrounding load (see docs/workloads.md).
+  workload::SpatialSpec spatial{};
 
   // --- mobility ------------------------------------------------------------
   bool enable_mobility = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/expects.h"
+#include "workload/spatial.h"
 
 namespace facsp::core {
 
@@ -25,21 +26,29 @@ SessionDriver::SessionDriver(const ScenarioConfig& scenario,
   scenario_.validate();
   network_ = std::make_unique<cellular::CellularNetwork>(
       scenario_.rings, scenario_.cell_radius_m, scenario_.capacity_bu);
-  // Centre generator first, then (optionally) one per remaining cell.  Each
-  // generator gets a disjoint id range and its own random stream so adding
-  // background cells never perturbs the centre's workload.
+  // Centre generator first, then one per remaining cell with positive
+  // spatial weight.  Each generator gets a disjoint id range and its own
+  // random stream (keyed by the station id, not the spawner index), so
+  // reshaping the spatial map never perturbs another cell's workload.
   constexpr cellular::ConnectionId kIdStride = 1u << 24;
-  traffic_.push_back(std::make_unique<cellular::TrafficGenerator>(
-      scenario_.traffic, network_->layout(), cellular::HexCoord{0, 0},
-      network_->center().position(), rng_.stream("traffic", 0), 1));
-  if (scenario_.background_traffic) {
-    for (cellular::BaseStation* bs : network_->stations()) {
-      if (bs->coord() == cellular::HexCoord{0, 0}) continue;
-      traffic_.push_back(std::make_unique<cellular::TrafficGenerator>(
-          scenario_.traffic, network_->layout(), bs->coord(), bs->position(),
-          rng_.stream("traffic", bs->id() + 1),
-          kIdStride * (bs->id() + 1)));
-    }
+  const workload::SpatialLoadMap spatial(scenario_.spatial);
+  traffic_.push_back({std::make_unique<cellular::TrafficGenerator>(
+                          scenario_.traffic, network_->layout(),
+                          cellular::HexCoord{0, 0},
+                          network_->center().position(),
+                          rng_.stream("traffic", 0), 1),
+                      spatial.weight(cellular::HexCoord{0, 0},
+                                     network_->center().position())});
+  for (cellular::BaseStation* bs : network_->stations()) {
+    if (bs->coord() == cellular::HexCoord{0, 0}) continue;
+    const double w = spatial.weight(bs->coord(), bs->position());
+    if (w <= 0.0) continue;
+    traffic_.push_back({std::make_unique<cellular::TrafficGenerator>(
+                            scenario_.traffic, network_->layout(),
+                            bs->coord(), bs->position(),
+                            rng_.stream("traffic", bs->id() + 1),
+                            kIdStride * (bs->id() + 1)),
+                        w});
   }
   mobility_ = std::make_unique<cellular::MobilityModel>(
       scenario_.mobility, rng_.stream("mobility"));
@@ -181,7 +190,9 @@ RunResult SessionDriver::run(int n_requests) {
 
   for (std::size_t g = 0; g < traffic_.size(); ++g) {
     const bool measured = (g == 0);  // element 0 is the centre's generator
-    for (const auto& call : traffic_[g]->generate(n_requests)) {
+    const int count = workload::SpatialLoadMap::scaled_requests(
+        traffic_[g].weight, n_requests);
+    for (const auto& call : traffic_[g].gen->generate(count)) {
       sim_.schedule_at(call.arrival_time, [this, call, measured] {
         handle_arrival(call, measured);
       });

@@ -62,14 +62,21 @@ class SessionDriver {
                                      cellular::RequestKind kind,
                                      const cellular::BaseStation& target);
 
+  /// One request source per spawning cell: the cell's generator plus its
+  /// spatial load weight (requests per run = round(weight * N)).
+  struct Spawner {
+    std::unique_ptr<cellular::TrafficGenerator> gen;
+    double weight = 1.0;
+  };
+
   ScenarioConfig scenario_;
   cac::AdmissionPolicy& policy_;
   std::unique_ptr<cellular::CellularNetwork> network_;
   sim::Simulator sim_;
   sim::RngFactory rng_;
-  /// One generator per spawning cell (just the centre unless
-  /// background_traffic is on).  Element 0 is always the centre's.
-  std::vector<std::unique_ptr<cellular::TrafficGenerator>> traffic_;
+  /// One spawner per cell with positive spatial weight (just the centre
+  /// under the default center-only map).  Element 0 is always the centre's.
+  std::vector<Spawner> traffic_;
   std::unique_ptr<cellular::MobilityModel> mobility_;
   std::unique_ptr<cellular::DirectionPredictor> predictor_;
   cellular::MetricsCollector metrics_;

@@ -1,0 +1,62 @@
+// Named scenario catalog: every end-to-end workload the repo knows how to
+// run, registered under a stable name so CLIs, tests and benches can build
+// it without recompiling (`scenario_runner --scenario bursty-onoff ...`).
+//
+// Built-ins (see docs/workloads.md for parameters):
+//   paper-grid    — the paper's Sec. 4 baseline (what every figure measures)
+//   bursty-onoff  — same load reshaped into ON/OFF (MMPP) bursts
+//   flash-crowd   — half the batch lands in a 30 s spike
+//   diurnal       — sinusoidal "daily" wave over the arrival window
+//   hotspot-ring2 — 19-cell grid, load decaying away from the centre
+//   highway       — 19-cell grid, fast users along an east-west corridor
+//   mix-shift     — service mix turns video-heavy mid-window
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace facsp::workload {
+
+class ScenarioCatalog {
+ public:
+  using Builder = std::function<core::ScenarioConfig()>;
+
+  struct Entry {
+    std::string name;
+    std::string description;
+    Builder build;
+  };
+
+  /// The process-wide catalog, with the built-in scenarios pre-registered.
+  static ScenarioCatalog& instance();
+
+  /// Register a scenario.  Throws facsp::ConfigError on duplicate names or
+  /// an empty name/builder.
+  void add(std::string name, std::string description, Builder builder);
+
+  /// Entries in registration order (built-ins first).
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  const Entry* find(std::string_view name) const noexcept;
+  bool contains(std::string_view name) const noexcept {
+    return find(name) != nullptr;
+  }
+
+  /// Build (and validate) the named scenario.  Throws facsp::ConfigError
+  /// listing the registered names when `name` is unknown.
+  core::ScenarioConfig build(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Shorthand for ScenarioCatalog::instance().build(name).
+core::ScenarioConfig catalog_scenario(const std::string& name);
+
+}  // namespace facsp::workload

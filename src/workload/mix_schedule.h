@@ -1,0 +1,72 @@
+// Time-varying service mix: *what* the requests of a batch ask for.
+//
+// A MixSchedule is a piecewise-constant override of the base TrafficMix:
+// each segment pins the text/voice/video shares from its start offset
+// (relative to the batch's t0) until the next segment.  An empty schedule
+// means "constant base mix" — the paper's 70/20/10 — and is the default
+// everywhere, so existing scenarios are untouched.
+//
+// Serialized form (config_io key `traffic.mix_schedule`):
+//   "none"                                  — empty schedule
+//   "0:0.7/0.2/0.1;450:0.4/0.2/0.4"         — segments `start:text/voice/video`
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cellular/service.h"
+
+namespace facsp::workload {
+
+/// One schedule segment: from `start_s` (offset from the batch start) the
+/// given mix applies.
+struct MixSegment {
+  double start_s = 0.0;
+  cellular::TrafficMix mix{};
+
+  friend bool operator==(const MixSegment& a, const MixSegment& b) {
+    return a.start_s == b.start_s && a.mix.text == b.mix.text &&
+           a.mix.voice == b.mix.voice && a.mix.video == b.mix.video;
+  }
+};
+
+class MixSchedule {
+ public:
+  /// Empty schedule: the base mix applies for the whole window.
+  MixSchedule() = default;
+  explicit MixSchedule(std::vector<MixSegment> segments)
+      : segments_(std::move(segments)) {}
+
+  bool empty() const noexcept { return segments_.empty(); }
+  const std::vector<MixSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+  /// Index of the segment active at offset `t_s` from the batch start, or
+  /// -1 when `base` mix applies (empty schedule, or t before the first
+  /// segment).  Exposed so callers can cache per-segment state.
+  int segment_at(double t_s) const noexcept;
+
+  /// Active mix at offset `t_s`; `base` applies outside every segment.
+  const cellular::TrafficMix& mix_at(
+      double t_s, const cellular::TrafficMix& base) const noexcept;
+
+  /// Throws facsp::ConfigError unless segments are strictly increasing in
+  /// start_s, start at >= 0, and every mix validates.
+  void validate() const;
+
+  /// Parse the serialized form; "none" or "" yields an empty schedule.
+  /// Throws facsp::ConfigError on malformed input.
+  static MixSchedule from_string(const std::string& text);
+  /// Inverse of from_string ("none" for an empty schedule).
+  std::string to_string() const;
+
+  friend bool operator==(const MixSchedule& a, const MixSchedule& b) {
+    return a.segments_ == b.segments_;
+  }
+
+ private:
+  std::vector<MixSegment> segments_;
+};
+
+}  // namespace facsp::workload

@@ -1,0 +1,78 @@
+// Spatial load maps: *where* requests are generated over the hex grid.
+//
+// A SpatialLoadMap assigns each cell a relative request weight; the session
+// driver multiplies the per-cell baseline N by that weight to get the cell's
+// request count.  The centre cell always has weight 1 so the measured
+// (centre-cell) workload stays comparable across maps — a map reshapes the
+// *surrounding* load, replacing the old all-or-nothing `background_traffic`
+// flag:
+//
+//   center  — paper default: only the centre cell generates requests
+//   uniform — every cell generates N requests (old background_traffic=true)
+//   hotspot — load decays geometrically with ring distance from the centre
+//   highway — full load along an east-west corridor, trickle elsewhere
+#pragma once
+
+#include <string_view>
+
+#include "cellular/hexgrid.h"
+
+namespace facsp::workload {
+
+enum class SpatialKind {
+  kCenterOnly = 0,
+  kUniform = 1,
+  kHotspot = 2,
+  kHighway = 3,
+};
+
+/// Declarative spatial description; round-trips through config_io as
+/// `spatial.*` keys.
+struct SpatialSpec {
+  SpatialKind kind = SpatialKind::kCenterOnly;
+
+  /// hotspot: weight = hotspot_decay^ring (ring = hex distance from centre).
+  double hotspot_decay = 0.5;
+
+  /// highway: cells whose centre lies within `highway_halfwidth_m` of the
+  /// east-west axis get weight 1; the rest get `highway_off_weight`.
+  double highway_halfwidth_m = 2000.0;
+  double highway_off_weight = 0.1;
+
+  /// Throws facsp::ConfigError on out-of-range parameters.
+  void validate() const;
+};
+
+/// "center" | "uniform" | "hotspot" | "highway".
+std::string_view spatial_kind_name(SpatialKind kind) noexcept;
+/// Inverse of spatial_kind_name; throws facsp::ConfigError on unknown names.
+SpatialKind spatial_kind_from_name(std::string_view name);
+
+/// Evaluates a SpatialSpec over cells.  Stateless beyond the spec; cheap to
+/// copy.
+class SpatialLoadMap {
+ public:
+  SpatialLoadMap() = default;
+  explicit SpatialLoadMap(SpatialSpec spec);
+
+  const SpatialSpec& spec() const noexcept { return spec_; }
+
+  /// Relative request weight of the cell at `coord` whose centre sits at
+  /// `cell_center` (world metres).  The centre cell {0,0} always returns 1.
+  double weight(const cellular::HexCoord& coord,
+                const cellular::Point& cell_center) const noexcept;
+
+  /// Request count for the cell given the baseline n (= the centre cell's
+  /// count): round(weight * n).
+  int requests(int n, const cellular::HexCoord& coord,
+               const cellular::Point& cell_center) const noexcept;
+
+  /// The single weight-to-count rounding rule: round(weight * n).  Used by
+  /// requests() and by callers that cached a cell's weight.
+  static int scaled_requests(double weight, int n) noexcept;
+
+ private:
+  SpatialSpec spec_{};
+};
+
+}  // namespace facsp::workload

@@ -53,14 +53,116 @@ TEST_F(TrafficFixture, IdsAreSequentialAndUnique) {
   EXPECT_EQ(*ids.begin(), 100u);
 }
 
+// 4-sigma binomial bound: never flakes on a fixed seed, still tight enough
+// to catch a mis-wired share (PR 2's CI-aware technique).
+double binomial_bound(double p, double n) {
+  return 4.0 * std::sqrt(p * (1.0 - p) / n);
+}
+
 TEST_F(TrafficFixture, ServiceMixMatchesConfiguredShares) {
   auto gen = make({});
   const auto reqs = gen.generate(6000);
   int counts[3] = {0, 0, 0};
   for (const auto& r : reqs) ++counts[static_cast<int>(r.service)];
-  EXPECT_NEAR(counts[0] / 6000.0, 0.70, 0.03);
-  EXPECT_NEAR(counts[1] / 6000.0, 0.20, 0.03);
-  EXPECT_NEAR(counts[2] / 6000.0, 0.10, 0.03);
+  EXPECT_NEAR(counts[0] / 6000.0, 0.70, binomial_bound(0.70, 6000));
+  EXPECT_NEAR(counts[1] / 6000.0, 0.20, binomial_bound(0.20, 6000));
+  EXPECT_NEAR(counts[2] / 6000.0, 0.10, binomial_bound(0.10, 6000));
+}
+
+TEST_F(TrafficFixture, PrioritySharesMatchConfiguredProportions) {
+  TrafficConfig cfg;
+  cfg.priority_low = 0.1;
+  cfg.priority_normal = 0.6;
+  cfg.priority_high = 0.3;
+  auto gen = make(cfg);
+  const auto reqs = gen.generate(6000);
+  int counts[3] = {0, 0, 0};
+  for (const auto& r : reqs) ++counts[static_cast<int>(r.priority)];
+  EXPECT_NEAR(counts[0] / 6000.0, 0.1, binomial_bound(0.1, 6000));
+  EXPECT_NEAR(counts[1] / 6000.0, 0.6, binomial_bound(0.6, 6000));
+  EXPECT_NEAR(counts[2] / 6000.0, 0.3, binomial_bound(0.3, 6000));
+}
+
+TEST_F(TrafficFixture, DisjointIdRangesAcrossMultipleGenerators) {
+  // Several generators in one simulation (the spatial-map case) must never
+  // collide: the session driver hands each a 2^24-wide id range.
+  constexpr ConnectionId kIdStride = 1u << 24;
+  auto a = make({}, 5, 1);
+  auto b = make({}, 6, kIdStride);
+  auto c = make({}, 7, 2 * kIdStride);
+  std::set<ConnectionId> ids;
+  for (auto* gen : {&a, &b, &c})
+    for (const auto& r : gen->generate(4000)) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), 12000u);  // no id seen twice
+}
+
+TEST_F(TrafficFixture, MixScheduleShiftsSharesMidWindow) {
+  TrafficConfig cfg;
+  cfg.mix_schedule = workload::MixSchedule(
+      {{450.0, TrafficMix{0.10, 0.10, 0.80}}});  // video-heavy second half
+  auto gen = make(cfg);
+  const auto reqs = gen.generate(8000);
+  int early[3] = {0, 0, 0}, late[3] = {0, 0, 0};
+  int n_early = 0, n_late = 0;
+  for (const auto& r : reqs) {
+    if (r.arrival_time < 450.0) {
+      ++early[static_cast<int>(r.service)];
+      ++n_early;
+    } else {
+      ++late[static_cast<int>(r.service)];
+      ++n_late;
+    }
+  }
+  ASSERT_GT(n_early, 1000);
+  ASSERT_GT(n_late, 1000);
+  EXPECT_NEAR(early[0] / static_cast<double>(n_early), 0.70,
+              binomial_bound(0.70, n_early));
+  EXPECT_NEAR(early[2] / static_cast<double>(n_early), 0.10,
+              binomial_bound(0.10, n_early));
+  EXPECT_NEAR(late[0] / static_cast<double>(n_late), 0.10,
+              binomial_bound(0.10, n_late));
+  EXPECT_NEAR(late[2] / static_cast<double>(n_late), 0.80,
+              binomial_bound(0.80, n_late));
+}
+
+TEST_F(TrafficFixture, PluggedArrivalProcessKeepsRequestsSorted) {
+  // Every arrival kind, driven through the generator: requests come back
+  // sorted and inside the window regardless of process.
+  for (workload::ArrivalKind kind :
+       {workload::ArrivalKind::kConditionedUniform,
+        workload::ArrivalKind::kOnOff, workload::ArrivalKind::kDiurnal,
+        workload::ArrivalKind::kFlashCrowd}) {
+    TrafficConfig cfg;
+    cfg.arrival.kind = kind;
+    auto gen = make(cfg);
+    const auto reqs = gen.generate(500, 25.0);
+    ASSERT_EQ(reqs.size(), 500u);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_GE(reqs[i].arrival_time, 25.0);
+      EXPECT_LE(reqs[i].arrival_time, 25.0 + cfg.arrival_window_s);
+      if (i > 0)
+        EXPECT_GE(reqs[i].arrival_time, reqs[i - 1].arrival_time)
+            << workload::arrival_kind_name(kind);
+    }
+  }
+}
+
+TEST_F(TrafficFixture, GenerateIntoMatchesGenerateAndReusesCapacity) {
+  auto a = make({}, 99);
+  auto b = make({}, 99);
+  const auto reqs = a.generate(64);
+  std::vector<CallRequest> out;
+  b.generate_into(64, 0.0, out);
+  ASSERT_EQ(out.size(), reqs.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].id, reqs[i].id);
+    EXPECT_DOUBLE_EQ(out[i].arrival_time, reqs[i].arrival_time);
+    EXPECT_EQ(out[i].service, reqs[i].service);
+  }
+  const CallRequest* data = out.data();
+  b.generate_into(64, 0.0, out);  // steady state: same buffer, new batch
+  EXPECT_EQ(out.data(), data);
+  EXPECT_EQ(out.size(), 64u);
 }
 
 TEST_F(TrafficFixture, BandwidthMatchesService) {
@@ -159,6 +261,18 @@ TEST_F(TrafficFixture, SameSeedSameWorkload) {
     EXPECT_DOUBLE_EQ(ra[i].arrival_time, rb[i].arrival_time);
     EXPECT_DOUBLE_EQ(ra[i].mobile.speed_kmh, rb[i].mobile.speed_kmh);
   }
+}
+
+TEST_F(TrafficFixture, ConstructorRejectsInvalidConfigBeforeAnyDraw) {
+  // The generator must validate before building its internal distributions
+  // (negative discrete weights are UB): a bad config throws, never UB.
+  TrafficConfig bad;
+  bad.priority_low = -0.5;
+  bad.priority_normal = 1.3;
+  EXPECT_THROW(make(bad), facsp::ConfigError);
+  bad = {};
+  bad.mix = TrafficMix{-0.2, 0.6, 0.6};
+  EXPECT_THROW(make(bad), facsp::ConfigError);
 }
 
 TEST(TrafficConfig, Validation) {

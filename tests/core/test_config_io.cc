@@ -15,8 +15,23 @@ TEST(ConfigIo, RoundTripPreservesEveryField) {
   original.rings = 2;
   original.cell_radius_m = 1750.0;
   original.capacity_bu = 48.0;
-  original.background_traffic = true;
   original.enable_mobility = false;
+  original.spatial.kind = workload::SpatialKind::kHighway;
+  original.spatial.hotspot_decay = 0.25;
+  original.spatial.highway_halfwidth_m = 900.0;
+  original.spatial.highway_off_weight = 0.05;
+  original.traffic.arrival.kind = workload::ArrivalKind::kOnOff;
+  original.traffic.arrival.on_rate = 6.0;
+  original.traffic.arrival.off_rate = 0.5;
+  original.traffic.arrival.mean_on_s = 45.0;
+  original.traffic.arrival.mean_off_s = 90.0;
+  original.traffic.arrival.flash_fraction = 0.4;
+  original.traffic.priority_low = 0.1;
+  original.traffic.priority_normal = 0.7;
+  original.traffic.priority_high = 0.2;
+  original.traffic.mix_schedule = workload::MixSchedule(
+      {{0.0, cellular::TrafficMix{0.6, 0.25, 0.15}},
+       {300.0, cellular::TrafficMix{0.3, 0.3, 0.4}}});
   original.mobility_update_s = 2.5;
   original.horizon_s = 7200.0;
   original.traffic.arrival_window_s = 450.0;
@@ -36,8 +51,31 @@ TEST(ConfigIo, RoundTripPreservesEveryField) {
   EXPECT_EQ(parsed.rings, original.rings);
   EXPECT_DOUBLE_EQ(parsed.cell_radius_m, original.cell_radius_m);
   EXPECT_DOUBLE_EQ(parsed.capacity_bu, original.capacity_bu);
-  EXPECT_EQ(parsed.background_traffic, original.background_traffic);
   EXPECT_EQ(parsed.enable_mobility, original.enable_mobility);
+  EXPECT_EQ(parsed.spatial.kind, original.spatial.kind);
+  EXPECT_DOUBLE_EQ(parsed.spatial.hotspot_decay,
+                   original.spatial.hotspot_decay);
+  EXPECT_DOUBLE_EQ(parsed.spatial.highway_halfwidth_m,
+                   original.spatial.highway_halfwidth_m);
+  EXPECT_DOUBLE_EQ(parsed.spatial.highway_off_weight,
+                   original.spatial.highway_off_weight);
+  EXPECT_EQ(parsed.traffic.arrival.kind, original.traffic.arrival.kind);
+  EXPECT_DOUBLE_EQ(parsed.traffic.arrival.on_rate,
+                   original.traffic.arrival.on_rate);
+  EXPECT_DOUBLE_EQ(parsed.traffic.arrival.off_rate,
+                   original.traffic.arrival.off_rate);
+  EXPECT_DOUBLE_EQ(parsed.traffic.arrival.mean_on_s,
+                   original.traffic.arrival.mean_on_s);
+  EXPECT_DOUBLE_EQ(parsed.traffic.arrival.mean_off_s,
+                   original.traffic.arrival.mean_off_s);
+  EXPECT_DOUBLE_EQ(parsed.traffic.arrival.flash_fraction,
+                   original.traffic.arrival.flash_fraction);
+  EXPECT_DOUBLE_EQ(parsed.traffic.priority_low, original.traffic.priority_low);
+  EXPECT_DOUBLE_EQ(parsed.traffic.priority_normal,
+                   original.traffic.priority_normal);
+  EXPECT_DOUBLE_EQ(parsed.traffic.priority_high,
+                   original.traffic.priority_high);
+  EXPECT_EQ(parsed.traffic.mix_schedule, original.traffic.mix_schedule);
   EXPECT_DOUBLE_EQ(parsed.mobility_update_s, original.mobility_update_s);
   EXPECT_DOUBLE_EQ(parsed.horizon_s, original.horizon_s);
   EXPECT_DOUBLE_EQ(parsed.traffic.arrival_window_s,
@@ -122,6 +160,53 @@ TEST(ConfigIo, FileRoundTrip) {
 
 TEST(ConfigIo, MissingFileThrows) {
   EXPECT_THROW(load_scenario_file("/nonexistent/facsp.cfg"), Error);
+}
+
+TEST(ConfigIo, UnknownArrivalOrSpatialKindIsAnError) {
+  EXPECT_THROW(scenario_from_string("traffic.arrival.kind = burst\n"),
+               ParseError);
+  EXPECT_THROW(scenario_from_string("spatial.kind = everywhere\n"),
+               ParseError);
+}
+
+TEST(ConfigIo, RemovedBackgroundTrafficKeyIsAnError) {
+  // The all-or-nothing flag was replaced by spatial.kind; old configs must
+  // fail loudly, not silently revert to center-only.
+  EXPECT_THROW(scenario_from_string("background_traffic = true\n"),
+               ParseError);
+}
+
+TEST(ConfigIo, DoubleRoundTripIsLossless) {
+  // Dumped configs must reproduce the in-memory scenario bit for bit — a
+  // 6-significant-digit printer would silently change the simulation (or
+  // even make a valid mix unloadable: thirds truncate to a sum of
+  // 0.999999, outside validate()'s tolerance).
+  ScenarioConfig original = paper_scenario(1);
+  original.traffic.arrival.kind = workload::ArrivalKind::kDiurnal;
+  original.traffic.arrival.diurnal_phase_rad = 0.78539816339744828;  // pi/4
+  const double third = 1.0 / 3.0;
+  original.traffic.mix = cellular::TrafficMix{third, third, third};
+  original.traffic.mix_schedule = workload::MixSchedule(
+      {{450.0, cellular::TrafficMix{third, third, third}}});
+  original.traffic.fixed_speed_kmh = 100.0 / 3.0;
+
+  const ScenarioConfig parsed =
+      scenario_from_string(scenario_to_string(original));
+  EXPECT_EQ(parsed.traffic.arrival.diurnal_phase_rad,
+            original.traffic.arrival.diurnal_phase_rad);
+  EXPECT_EQ(parsed.traffic.mix.text, third);
+  EXPECT_EQ(parsed.traffic.mix_schedule, original.traffic.mix_schedule);
+  ASSERT_TRUE(parsed.traffic.fixed_speed_kmh.has_value());
+  EXPECT_EQ(*parsed.traffic.fixed_speed_kmh, 100.0 / 3.0);
+}
+
+TEST(ConfigIo, MalformedMixScheduleIsAnError) {
+  EXPECT_THROW(scenario_from_string("traffic.mix_schedule = 0:0.7/0.2\n"),
+               ParseError);
+  // Segment mixes must individually sum to 1.
+  EXPECT_THROW(
+      scenario_from_string("traffic.mix_schedule = 0:0.9/0.9/0.9\n"),
+      ParseError);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "core/paper.h"
+#include "workload/catalog.h"
 
 namespace facsp::core {
 namespace {
@@ -73,6 +74,39 @@ TEST_P(ParallelSweepPolicies, BitIdenticalToSerialForEveryThreadCount) {
         ParallelSweepRunner(scen, factory, name).run(small_sweep(threads));
     EXPECT_EQ(parallel.policy_name, name);
     SCOPED_TRACE(std::string(name) + " threads=" + std::to_string(threads));
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+// Catalog-scenario matrix: the bit-identity guarantee must hold for every
+// workload the catalog can produce, not just the paper grid.  Each scenario
+// is shrunk (shorter window/holding) so the matrix stays ctest-cheap; the
+// workload *shape* (arrival process, spatial map) is untouched.
+class ParallelSweepCatalogScenarios
+    : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ParallelSweepCatalogScenarios,
+                         ::testing::Values("bursty-onoff", "hotspot-ring2",
+                                           "flash-crowd", "mix-shift"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST_P(ParallelSweepCatalogScenarios, BitIdenticalToSerialAtThreads128) {
+  ScenarioConfig scen = workload::catalog_scenario(GetParam());
+  scen.traffic.mean_holding_s = 120.0;
+  const SweepConfig serial_sweep = small_sweep(0);
+  const SweepResult serial =
+      Experiment(scen, make_facs_p_factory(), GetParam()).run(serial_sweep);
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(std::string(GetParam()) +
+                 " threads=" + std::to_string(threads));
+    const SweepResult parallel =
+        ParallelSweepRunner(scen, make_facs_p_factory(), GetParam())
+            .run(small_sweep(threads));
     expect_bit_identical(serial, parallel);
   }
 }

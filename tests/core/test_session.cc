@@ -98,9 +98,9 @@ TEST(SessionDriver, DifferentReplicationsDiffer) {
   EXPECT_NE(a.events, b.events);
 }
 
-TEST(SessionDriver, BackgroundTrafficLoadsNeighborCells) {
+TEST(SessionDriver, UniformSpatialMapLoadsNeighborCells) {
   auto scen = small_scenario();
-  scen.background_traffic = true;
+  scen.spatial.kind = workload::SpatialKind::kUniform;
   cac::CompleteSharingPolicy policy;
   SessionDriver driver(scen, policy, 6);
   const RunResult r = driver.run(20);
@@ -109,9 +109,29 @@ TEST(SessionDriver, BackgroundTrafficLoadsNeighborCells) {
   // But neighbour cells saw traffic: total events far exceed the
   // single-cell case.
   cac::CompleteSharingPolicy p2;
-  scen.background_traffic = false;
+  scen.spatial.kind = workload::SpatialKind::kCenterOnly;
   const RunResult single = SessionDriver(scen, p2, 6).run(20);
   EXPECT_GT(r.events, 3 * single.events);
+}
+
+TEST(SessionDriver, HotspotMapScalesNeighborLoadByRing) {
+  // rings=2 hotspot with decay 0.5: ring-1 cells get 10 of 20 requests,
+  // ring-2 cells get 5; event counts must sit between center-only and
+  // uniform.
+  auto scen = small_scenario();
+  scen.rings = 2;
+  scen.spatial.kind = workload::SpatialKind::kHotspot;
+  scen.spatial.hotspot_decay = 0.5;
+  cac::CompleteSharingPolicy hotspot_policy, center_policy, uniform_policy;
+  const RunResult hotspot =
+      SessionDriver(scen, hotspot_policy, 3).run(20);
+  scen.spatial.kind = workload::SpatialKind::kCenterOnly;
+  const RunResult center = SessionDriver(scen, center_policy, 3).run(20);
+  scen.spatial.kind = workload::SpatialKind::kUniform;
+  const RunResult uniform = SessionDriver(scen, uniform_policy, 3).run(20);
+  EXPECT_EQ(hotspot.metrics.offered_new(), 20u);
+  EXPECT_GT(hotspot.events, center.events);
+  EXPECT_LT(hotspot.events, uniform.events);
 }
 
 TEST(SessionDriver, GuardChannelReducesDropsVsCompleteSharing) {

@@ -1,0 +1,107 @@
+#include "workload/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "cellular/network.h"
+#include "common/error.h"
+
+namespace facsp::workload {
+namespace {
+
+SpatialSpec spec_of(SpatialKind kind) {
+  SpatialSpec s;
+  s.kind = kind;
+  return s;
+}
+
+TEST(SpatialLoadMap, CenterWeightIsAlwaysOne) {
+  const cellular::Point origin{0.0, 0.0};
+  for (SpatialKind k : {SpatialKind::kCenterOnly, SpatialKind::kUniform,
+                        SpatialKind::kHotspot, SpatialKind::kHighway}) {
+    const SpatialLoadMap map(spec_of(k));
+    EXPECT_DOUBLE_EQ(map.weight(cellular::HexCoord{0, 0}, origin), 1.0)
+        << spatial_kind_name(k);
+    EXPECT_EQ(map.requests(40, cellular::HexCoord{0, 0}, origin), 40);
+  }
+}
+
+TEST(SpatialLoadMap, CenterOnlyZeroesEveryOtherCell) {
+  const SpatialLoadMap map(spec_of(SpatialKind::kCenterOnly));
+  EXPECT_DOUBLE_EQ(map.weight({1, 0}, {3464.1, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(map.weight({-2, 1}, {-5196.2, 3000.0}), 0.0);
+}
+
+TEST(SpatialLoadMap, UniformIsOneEverywhere) {
+  const SpatialLoadMap map(spec_of(SpatialKind::kUniform));
+  EXPECT_DOUBLE_EQ(map.weight({2, -1}, {5196.2, -3000.0}), 1.0);
+  EXPECT_EQ(map.requests(25, {2, -1}, {5196.2, -3000.0}), 25);
+}
+
+TEST(SpatialLoadMap, HotspotDecaysGeometricallyPerRing) {
+  SpatialSpec spec = spec_of(SpatialKind::kHotspot);
+  spec.hotspot_decay = 0.5;
+  const SpatialLoadMap map(spec);
+  // Ring distance comes from hex coordinates; positions are irrelevant.
+  EXPECT_DOUBLE_EQ(map.weight({1, 0}, {}), 0.5);    // ring 1
+  EXPECT_DOUBLE_EQ(map.weight({2, -1}, {}), 0.25);  // ring 2
+  EXPECT_DOUBLE_EQ(map.weight({0, -2}, {}), 0.25);
+  EXPECT_EQ(map.requests(20, {1, 0}, {}), 10);
+  EXPECT_EQ(map.requests(20, {2, -1}, {}), 5);
+}
+
+TEST(SpatialLoadMap, HighwayCorridorSelectsByCellCenterY) {
+  SpatialSpec spec = spec_of(SpatialKind::kHighway);
+  spec.highway_halfwidth_m = 2000.0;
+  spec.highway_off_weight = 0.1;
+  const SpatialLoadMap map(spec);
+  EXPECT_DOUBLE_EQ(map.weight({1, 0}, {3464.1, 0.0}), 1.0);     // on axis
+  EXPECT_DOUBLE_EQ(map.weight({0, 1}, {1732.1, 3000.0}), 0.1);  // off axis
+  EXPECT_DOUBLE_EQ(map.weight({0, -1}, {-1732.1, -1500.0}), 1.0);
+}
+
+TEST(SpatialLoadMap, CorridorCoversARowOfARealRing2Network) {
+  // On a rings=2 disc with 2 km cells, the corridor (half-width one cell
+  // radius) keeps the centre row fully loaded and throttles the rest.
+  const cellular::CellularNetwork net(2, 2000.0, 40.0);
+  SpatialSpec spec = spec_of(SpatialKind::kHighway);
+  spec.highway_halfwidth_m = 2000.0;
+  spec.highway_off_weight = 0.0;
+  const SpatialLoadMap map(spec);
+  int full = 0, off = 0;
+  for (const cellular::BaseStation* bs : net.stations())
+    (map.weight(bs->coord(), bs->position()) == 1.0 ? full : off)++;
+  EXPECT_EQ(full + off, 19);
+  EXPECT_EQ(full, 5);  // the east-west row through the centre
+}
+
+TEST(SpatialLoadMap, RequestsRoundToNearest) {
+  SpatialSpec spec = spec_of(SpatialKind::kHotspot);
+  spec.hotspot_decay = 0.3;
+  const SpatialLoadMap map(spec);
+  EXPECT_EQ(map.requests(10, {1, 0}, {}), 3);   // 3.0
+  EXPECT_EQ(map.requests(5, {1, 0}, {}), 2);    // 1.5 -> 2
+  EXPECT_EQ(map.requests(10, {2, 0}, {}), 1);   // 0.9 -> 1
+  EXPECT_EQ(map.requests(1, {2, 0}, {}), 0);    // 0.09 -> 0
+}
+
+TEST(SpatialSpec, Validation) {
+  SpatialSpec bad = spec_of(SpatialKind::kHotspot);
+  bad.hotspot_decay = 1.5;
+  EXPECT_THROW(bad.validate(), facsp::ConfigError);
+  bad = spec_of(SpatialKind::kHighway);
+  bad.highway_halfwidth_m = 0.0;
+  EXPECT_THROW(bad.validate(), facsp::ConfigError);
+  bad = spec_of(SpatialKind::kHighway);
+  bad.highway_off_weight = 1.5;
+  EXPECT_THROW(bad.validate(), facsp::ConfigError);
+  EXPECT_THROW(spatial_kind_from_name("everywhere"), facsp::ConfigError);
+}
+
+TEST(SpatialSpec, KindNamesRoundTrip) {
+  for (SpatialKind k : {SpatialKind::kCenterOnly, SpatialKind::kUniform,
+                        SpatialKind::kHotspot, SpatialKind::kHighway})
+    EXPECT_EQ(spatial_kind_from_name(spatial_kind_name(k)), k);
+}
+
+}  // namespace
+}  // namespace facsp::workload
