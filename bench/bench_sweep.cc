@@ -1,0 +1,106 @@
+// Multi-axis sweep benchmark: a policy x scenario x N grid through the
+// declarative SweepRunner at several thread counts, reporting cells/sec.
+//
+// Two guarantees are exercised at once:
+//   * correctness — every thread count's ResultTable must serialise
+//     byte-for-byte identically (CSV and JSON) to the single-thread run;
+//     the binary fails loudly otherwise;
+//   * throughput — wall-clock and cells/sec per thread count.
+//
+// Committed numbers live in BENCH_sweep.json.  Overrides:
+//   FACSP_BENCH_REPS     replications per cell   (default 16)
+//   FACSP_BENCH_THREADS  comma list of counts    (default "1,2,4,8")
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/config_io.h"
+#include "core/report.h"
+#include "core/sweep.h"
+
+using namespace facsp;
+
+namespace {
+
+std::vector<int> thread_counts() {
+  std::vector<int> out;
+  const char* env = std::getenv("FACSP_BENCH_THREADS");
+  for (const std::string& tok :
+       core::split_fields(env != nullptr ? env : "1,2,4,8", ','))
+    if (const int t = std::atoi(tok.c_str()); t > 0) out.push_back(t);
+  if (out.empty()) out = {1, 2, 4, 8};
+  return out;
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+core::SweepSpec grid_spec(int replications, int threads) {
+  core::SweepSpec spec;
+  spec.replications = replications;
+  spec.threads = threads;
+  spec.policy_axis({"facs-p", "facs", "gc"});
+  spec.scenario_axis({"paper-grid", "bursty-onoff"});
+  spec.n_axis({20, 40, 60});
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = bench::replications();
+  const core::SweepRunner reference(grid_spec(reps, 1));
+  std::printf(
+      "=== Declarative sweep: policy x scenario x N grid, %zu cells x %d "
+      "reps ===\n",
+      reference.grid_size(), reps);
+
+  const auto t_serial = std::chrono::steady_clock::now();
+  const core::ResultTable serial = reference.run();
+  const double serial_ms = elapsed_ms(t_serial);
+  const std::string serial_csv = core::result_csv_string(serial);
+  const std::string serial_json = core::result_json_string(serial);
+  const double total_cells = static_cast<double>(reference.cell_count());
+  std::printf("  1 thread  %10.1f ms  %8.1f cells/s\n", serial_ms,
+              1000.0 * total_cells / serial_ms);
+
+  int failures = 0;
+  std::printf("\n  %-8s %12s %12s %9s %14s\n", "threads", "wall ms",
+              "cells/s", "speedup", "byte-identical");
+  std::vector<std::pair<int, double>> timings;
+  for (const int threads : thread_counts()) {
+    const core::SweepRunner runner(grid_spec(reps, threads));
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::ResultTable table = runner.run();
+    const double ms = elapsed_ms(t0);
+    const bool identical = core::result_csv_string(table) == serial_csv &&
+                           core::result_json_string(table) == serial_json;
+    if (!identical) ++failures;
+    timings.emplace_back(threads, ms);
+    std::printf("  %-8d %12.1f %12.1f %8.2fx %14s\n", threads, ms,
+                1000.0 * total_cells / ms, serial_ms / ms,
+                identical ? "yes" : "NO — BUG");
+  }
+
+  std::printf("\n  json: {\"cells\": %.0f, \"serial_ms\": %.1f", total_cells,
+              serial_ms);
+  for (const auto& [threads, ms] : timings)
+    std::printf(", \"threads_%d_ms\": %.1f, \"threads_%d_cells_per_s\": %.1f",
+                threads, ms, threads, 1000.0 * total_cells / ms);
+  std::printf("}\n");
+
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d thread configuration(s) diverged from the "
+                 "single-thread ResultTable\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

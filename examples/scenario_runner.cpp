@@ -1,130 +1,347 @@
-// Scenario runner: drive any experiment from a plain config file or the
-// named scenario catalog — no recompilation, shareable setups.
+// Scenario runner: drive single runs or declarative multi-axis sweeps from
+// the command line — no recompilation, shareable setups, structured output.
 //
-//   $ ./scenario_runner --list-scenarios          # catalog names + blurbs
-//   $ ./scenario_runner --dump-default            # print a template config
-//   $ ./scenario_runner --dump-scenario highway   # any catalog entry as cfg
-//   $ ./scenario_runner my.cfg facs-p 60 16       # file, policy, N, reps
-//   $ ./scenario_runner my.cfg facs-p 60 16 8     # ... on 8 worker threads
+//   $ ./scenario_runner --list-scenarios
 //   $ ./scenario_runner --scenario bursty-onoff facs-p 60 16
+//   $ ./scenario_runner --scenario paper-grid --policies facs-p,gc \
+//         --sweep n=20,40,60 --sweep traffic.arrival.kind=uniform,onoff \
+//         --reps 8 --threads 0 --out curves
 //
-// Policies: facs-p | facs | scc | gc | fgc | cs
-// The thread count (0 = hardware concurrency) only changes wall-clock time:
-// the parallel sweep is bit-identical to the serial run.
+// The second form runs one cell and prints per-replication metrics; the
+// third runs a policy x arrival-kind x N sweep and writes curves.csv +
+// curves.json (stable schema, see docs/experiments.md).  Thread count is a
+// pure throughput knob: results are bit-identical for every value.
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "core/config_io.h"
-#include "core/parallel_sweep.h"
 #include "core/paper.h"
+#include "core/report.h"
+#include "core/sweep.h"
 #include "workload/catalog.h"
 
 using namespace facsp;
 
 namespace {
 
-core::PolicyFactory policy_by_name(const std::string& name) {
-  if (name == "facs-p") return core::make_facs_p_factory();
-  if (name == "facs") return core::make_facs_factory();
-  if (name == "scc") return core::make_scc_factory();
-  if (name == "gc") return core::make_guard_channel_factory(8.0);
-  if (name == "fgc") return core::make_fractional_guard_factory(8.0);
-  if (name == "cs") return core::make_complete_sharing_factory();
-  throw facsp::ConfigError("unknown policy '" + name +
-                    "' (facs-p|facs|scc|gc|fgc|cs)");
+// The one place every flag is documented.  Keep this in sync with
+// docs/experiments.md.
+int usage(const char* argv0, FILE* dst) {
+  std::fprintf(
+      dst,
+      "usage: %s [options] [<policy> [N [reps [threads]]]]\n"
+      "\n"
+      "Catalog and config inspection (print and exit):\n"
+      "  --help                  this message\n"
+      "  --list-scenarios        catalog names + descriptions\n"
+      "  --list-policies         policy registry names\n"
+      "  --list-keys             every config key a --sweep axis can set\n"
+      "  --dump-default          the paper baseline as a config file\n"
+      "  --dump-scenario <name>  any catalog entry as a config file\n"
+      "\n"
+      "Base scenario (default: the paper Sec. 4 baseline):\n"
+      "  --scenario <name>       start from a catalog entry\n"
+      "  --config <file>         start from a key=value config file\n"
+      "  --seed <u64>            override the scenario seed (reproduce any\n"
+      "                          sweep cell in isolation)\n"
+      "\n"
+      "Sweep axes (any of these selects sweep mode):\n"
+      "  --policies <p1,p2,...>  policy axis (see --list-policies)\n"
+      "  --sweep <axis=v1,v2,..> add an axis; repeatable.  axis is 'n',\n"
+      "                          'scenario', or any scenario config key,\n"
+      "                          e.g. --sweep traffic.arrival.mean_on_s=30,60\n"
+      "\n"
+      "Execution and output:\n"
+      "  --n <int>               request count when no n axis (default 60)\n"
+      "  --reps <int>            replications per cell (default 8)\n"
+      "  --threads <int>         worker threads, 0 = all cores (default 1)\n"
+      "  --out <prefix>          write <prefix>.csv and <prefix>.json\n"
+      "\n"
+      "Single-run mode (no axes): positional <policy> [N [reps [threads]]]\n"
+      "prints per-replication metrics, as before; the legacy\n"
+      "<config-file> <policy> [N [reps [threads]]] form still works (a\n"
+      "first positional that is no policy name is a config file).\n"
+      "Policies: facs-p | facs-pr | facs | scc | gc | fgc | cs.\n",
+      argv0);
+  return dst == stderr ? 2 : 0;
 }
 
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --list-scenarios\n"
-               "       %s --dump-default\n"
-               "       %s --dump-scenario <name>\n"
-               "       %s <config-file> <policy> [N=60] [reps=8] [threads=1]\n"
-               "       %s --scenario <name> <policy> [N=60] [reps=8] "
-               "[threads=1]\n",
-               argv0, argv0, argv0, argv0, argv0);
-  return 1;
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  for (std::string& tok : core::split_fields(s, ','))
+    if (!tok.empty()) out.push_back(std::move(tok));
+  return out;
+}
+
+int parse_int(const std::string& v, const char* what) {
+  try {
+    std::size_t used = 0;
+    const int x = std::stoi(v, &used);
+    if (used != v.size()) throw std::invalid_argument("trailing characters");
+    return x;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("bad ") + what + " '" + v + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& v, const char* what) {
+  // stoull silently accepts "7abc" and wraps "-1"; a seed typo must not
+  // silently reproduce the wrong cell.
+  try {
+    if (v.empty() || v[0] == '-') throw std::invalid_argument("negative");
+    std::size_t used = 0;
+    const std::uint64_t x = std::stoull(v, &used);
+    if (used != v.size()) throw std::invalid_argument("trailing characters");
+    return x;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("bad ") + what + " '" + v + "'");
+  }
+}
+
+struct SweepAxisArg {
+  std::string axis;
+  std::vector<std::string> values;
+};
+
+struct Options {
+  std::optional<std::string> scenario_name;
+  std::optional<std::string> config_file;
+  std::optional<std::uint64_t> seed;
+  std::vector<std::string> policies;
+  std::vector<SweepAxisArg> sweeps;
+  std::optional<std::string> out;
+  std::string policy = "facs-p";
+  int n = 60;
+  int reps = 8;
+  int threads = 1;
+  bool sweep_mode = false;
+};
+
+void print_single_run(const core::ResultTable& table,
+                      const std::vector<core::CellMetrics>& cells,
+                      const Options& opt, const std::string& scenario_label) {
+  std::printf("scenario: %s  policy: %s  N=%d  replications=%d  threads=%s\n\n",
+              scenario_label.c_str(), opt.policy.c_str(), opt.n, opt.reps,
+              opt.threads == 0 ? "auto" : std::to_string(opt.threads).c_str());
+  for (const core::CellMetrics& cell : cells)
+    std::printf("  rep %2llu: accept %5.1f%%  drop %5.2f%%  util %5.1f%%\n",
+                static_cast<unsigned long long>(cell.replication),
+                cell.acceptance_percent, cell.dropping_percent,
+                cell.utilization_percent);
+  const core::ResultRow& row = table.rows.front();
+  std::printf(
+      "\nmean over %d replications:\n"
+      "  acceptance  %5.1f%%  ±%.1f (95%% CI)\n"
+      "  dropping    %5.2f%%\n"
+      "  utilization %5.1f%%\n",
+      opt.reps, row.acceptance_percent.mean(),
+      row.acceptance_percent.ci_half_width(), row.dropping_percent.mean(),
+      row.utilization_percent.mean());
+}
+
+void print_sweep(const core::ResultTable& table) {
+  std::printf("%zu cells x %d replications\n\n", table.rows.size(),
+              table.replications);
+  for (const std::string& axis : table.axes) std::printf("%-18s ", axis.c_str());
+  std::printf("%10s %9s %8s %8s\n", "accept%", "ci", "drop%", "util%");
+  for (const core::ResultRow& row : table.rows) {
+    for (const std::string& coord : row.coords)
+      std::printf("%-18s ", coord.c_str());
+    std::printf("%10.2f ±%-8.2f %8.3f %8.2f\n",
+                row.acceptance_percent.mean(),
+                row.acceptance_percent.ci_half_width(table.ci_level),
+                row.dropping_percent.mean(), row.utilization_percent.mean());
+  }
+}
+
+int run(const Options& opt) {
+  // --- base scenario -------------------------------------------------------
+  core::ScenarioConfig base;
+  std::string scenario_label = "paper";
+  if (opt.scenario_name && opt.config_file)
+    throw ConfigError("--scenario and --config are mutually exclusive");
+  if (opt.scenario_name) {
+    scenario_label = *opt.scenario_name;
+    base = workload::catalog_scenario(scenario_label);
+  } else if (opt.config_file) {
+    scenario_label = *opt.config_file;
+    base = core::load_scenario_file(scenario_label);
+  } else {
+    base = core::paper_scenario();
+  }
+  if (opt.seed) base.seed = *opt.seed;
+
+  // --- axes, in canonical order: policy, scenario, params, n ---------------
+  core::SweepSpec spec;
+  spec.base = base;
+  spec.fallback_policy = opt.policy;
+  spec.fallback_n = opt.n;
+  spec.replications = opt.reps;
+  spec.threads = opt.threads;
+
+  if (!opt.policies.empty()) spec.policy_axis(opt.policies);
+  for (const SweepAxisArg& s : opt.sweeps) {
+    if (s.axis == "scenario") {
+      auto choices = core::scenario_choices(s.values);
+      if (opt.seed)
+        for (auto& choice : choices) choice.config.seed = *opt.seed;
+      spec.scenario_axis(std::move(choices));
+    }
+  }
+  for (const SweepAxisArg& s : opt.sweeps)
+    if (s.axis != "scenario" && s.axis != "n")
+      spec.param_axis(s.axis, s.values);
+  for (const SweepAxisArg& s : opt.sweeps) {
+    if (s.axis == "n") {
+      std::vector<int> ns;
+      for (const std::string& v : s.values)
+        ns.push_back(parse_int(v, "n value"));
+      spec.n_axis(std::move(ns));
+    }
+  }
+
+  // --- execute -------------------------------------------------------------
+  const core::SweepRunner runner(std::move(spec));
+  std::vector<core::CellMetrics> cells;
+  const core::ResultTable table = runner.run(&cells);
+
+  if (opt.sweep_mode)
+    print_sweep(table);
+  else
+    print_single_run(table, cells, opt, scenario_label);
+
+  if (opt.out) {
+    core::write_result_csv(table, *opt.out + ".csv");
+    core::write_result_json(table, *opt.out + ".json");
+    std::printf("\nwrote %s.csv and %s.json\n", opt.out->c_str(),
+                opt.out->c_str());
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    if (argc == 2 && std::strcmp(argv[1], "--list-scenarios") == 0) {
-      for (const auto& entry : workload::ScenarioCatalog::instance().entries())
-        std::printf("%-14s %s\n", entry.name.c_str(),
-                    entry.description.c_str());
-      return 0;
+    Options opt;
+    std::vector<std::string> positional;
+
+    const auto flag_value = [&](int& i, const char* flag) -> std::string {
+      if (i + 1 >= argc)
+        throw ConfigError(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") return usage(argv[0], stdout);
+      if (arg == "--list-scenarios") {
+        for (const auto& entry :
+             workload::ScenarioCatalog::instance().entries())
+          std::printf("%-14s %s\n", entry.name.c_str(),
+                      entry.description.c_str());
+        return 0;
+      }
+      if (arg == "--list-policies") {
+        for (const std::string& name : core::policy_names())
+          std::printf("%s\n", name.c_str());
+        return 0;
+      }
+      if (arg == "--list-keys") {
+        for (const std::string& key : core::scenario_keys())
+          std::printf("%s\n", key.c_str());
+        return 0;
+      }
+      if (arg == "--dump-default") {
+        core::save_scenario(core::paper_scenario(), std::cout);
+        return 0;
+      }
+      if (arg == "--dump-scenario") {
+        core::save_scenario(
+            workload::catalog_scenario(flag_value(i, "--dump-scenario")),
+            std::cout);
+        return 0;
+      }
+      if (arg == "--scenario") {
+        opt.scenario_name = flag_value(i, "--scenario");
+      } else if (arg == "--config") {
+        opt.config_file = flag_value(i, "--config");
+      } else if (arg == "--seed") {
+        opt.seed = parse_u64(flag_value(i, "--seed"), "--seed");
+      } else if (arg == "--policies") {
+        if (!opt.policies.empty()) throw ConfigError("policy axis given twice");
+        opt.policies = split_csv(flag_value(i, "--policies"));
+        if (opt.policies.empty()) throw ConfigError("--policies is empty");
+        opt.sweep_mode = true;
+      } else if (arg == "--sweep") {
+        const std::string value = flag_value(i, "--sweep");
+        const std::size_t eq = value.find('=');
+        if (eq == std::string::npos || eq == 0)
+          throw ConfigError("--sweep expects <axis=v1,v2,...>, got '" +
+                            value + "'");
+        SweepAxisArg axis;
+        axis.axis = value.substr(0, eq);
+        axis.values = split_csv(value.substr(eq + 1));
+        if (axis.values.empty())
+          throw ConfigError("--sweep axis '" + axis.axis + "' has no values");
+        if (axis.axis == "policy") {
+          if (!opt.policies.empty())
+            throw ConfigError("policy axis given twice");
+          opt.policies = axis.values;
+        } else {
+          opt.sweeps.push_back(std::move(axis));
+        }
+        opt.sweep_mode = true;
+      } else if (arg == "--n") {
+        opt.n = parse_int(flag_value(i, "--n"), "--n");
+      } else if (arg == "--reps") {
+        opt.reps = parse_int(flag_value(i, "--reps"), "--reps");
+      } else if (arg == "--threads") {
+        opt.threads = parse_int(flag_value(i, "--threads"), "--threads");
+      } else if (arg == "--out") {
+        opt.out = flag_value(i, "--out");
+      } else if (arg.size() >= 2 && arg[0] == '-' && !std::isdigit(
+                     static_cast<unsigned char>(arg[1]))) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n\n", arg.c_str());
+        return usage(argv[0], stderr);
+      } else {
+        positional.push_back(arg);
+      }
     }
-    if (argc == 2 && std::strcmp(argv[1], "--dump-default") == 0) {
-      core::save_scenario(core::paper_scenario(), std::cout);
-      return 0;
+
+    // Positional tail: <policy> [N [reps [threads]]] (single-run style,
+    // still honoured in sweep mode for the fallback policy / N).  The
+    // pre-flag CLI put a config file first — keep that working: a first
+    // positional that is not a registry policy name is a config file.
+    std::size_t p = 0;
+    if (!positional.empty() && !opt.scenario_name && !opt.config_file) {
+      const std::vector<std::string> names = core::policy_names();
+      if (std::find(names.begin(), names.end(), positional[0]) ==
+          names.end()) {
+        opt.config_file = positional[0];
+        p = 1;
+      }
     }
-    if (argc == 3 && std::strcmp(argv[1], "--dump-scenario") == 0) {
-      core::save_scenario(workload::catalog_scenario(argv[2]), std::cout);
-      return 0;
+    if (positional.size() > p + 4) {
+      std::fprintf(stderr, "error: too many positional arguments\n\n");
+      return usage(argv[0], stderr);
     }
-    if (argc < 3) return usage(argv[0]);
+    if (positional.size() >= p + 1) opt.policy = positional[p];
+    if (positional.size() >= p + 2)
+      opt.n = parse_int(positional[p + 1], "positional N");
+    if (positional.size() >= p + 3)
+      opt.reps = parse_int(positional[p + 2], "positional reps");
+    if (positional.size() >= p + 4)
+      opt.threads = parse_int(positional[p + 3], "positional threads");
 
-    // Either "--scenario <name>" (catalog) or "<config-file>" selects the
-    // scenario; the remaining arguments are identical for both forms.
-    core::ScenarioConfig scenario;
-    std::string scenario_label;
-    int arg = 1;
-    if (std::strcmp(argv[1], "--scenario") == 0) {
-      if (argc < 4 || argc > 7) return usage(argv[0]);
-      scenario_label = argv[2];
-      scenario = workload::catalog_scenario(scenario_label);
-      arg = 3;
-    } else {
-      if (argc > 6) return usage(argv[0]);
-      scenario_label = argv[1];
-      scenario = core::load_scenario_file(scenario_label);
-      arg = 2;
-    }
-    const std::string policy_name = argv[arg];
-    const int n = argc > arg + 1 ? std::atoi(argv[arg + 1]) : 60;
-    const int reps = argc > arg + 2 ? std::atoi(argv[arg + 2]) : 8;
-    const int threads = argc > arg + 3 ? std::atoi(argv[arg + 3]) : 1;
-
-    std::cout << "scenario: " << scenario_label << "  policy: " << policy_name
-              << "  N=" << n << "  replications=" << reps
-              << "  threads=" << (threads == 0 ? "auto" : std::to_string(threads))
-              << "\n\n";
-
-    // The parallel runner fans the replications across workers; per-cell
-    // metrics come back in replication order, so the per-rep table and the
-    // aggregates read exactly as the serial loop would produce them.
-    core::SweepConfig sweep;
-    sweep.n_values = {n};
-    sweep.replications = reps;
-    sweep.threads = threads;
-    core::ParallelSweepRunner runner(scenario, policy_by_name(policy_name),
-                                     policy_name);
-    std::vector<core::CellMetrics> cells;
-    const core::SweepResult result = runner.run(sweep, &cells);
-
-    for (const core::CellMetrics& cell : cells)
-      std::printf("  rep %2llu: accept %5.1f%%  drop %5.2f%%  util %5.1f%%\n",
-                  static_cast<unsigned long long>(cell.replication),
-                  cell.acceptance_percent, cell.dropping_percent,
-                  cell.utilization_percent);
-
-    const core::SweepPoint& point = result.points.front();
-    std::printf(
-        "\nmean over %d replications:\n"
-        "  acceptance  %5.1f%%  ±%.1f (95%% CI)\n"
-        "  dropping    %5.2f%%\n"
-        "  utilization %5.1f%%\n",
-        reps, point.acceptance_percent.mean(),
-        point.acceptance_percent.ci_half_width(), point.dropping_percent.mean(),
-        point.utilization_percent.mean());
-    return 0;
+    return run(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

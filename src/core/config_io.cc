@@ -36,14 +36,6 @@ double parse_double(const std::string& v) {
   return x;
 }
 
-/// Shortest decimal that parses back to exactly the same double — dumped
-/// configs must reproduce the in-memory scenario bit for bit.
-std::string print_double(double v) {
-  char buf[32];
-  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  return std::string(buf, end);
-}
-
 bool parse_bool(const std::string& v) {
   if (v == "true" || v == "1") return true;
   if (v == "false" || v == "0") return false;
@@ -55,7 +47,7 @@ const std::map<std::string, Field>& registry() {
     std::map<std::string, Field> f;
     auto add_double = [&f](const std::string& key, auto getter, auto setter) {
       f[key] = Field{
-          [getter](const ScenarioConfig& s) { return print_double(getter(s)); },
+          [getter](const ScenarioConfig& s) { return format_double(getter(s)); },
           [setter](ScenarioConfig& s, const std::string& v) {
             setter(s, parse_double(v));
           }};
@@ -237,7 +229,7 @@ const std::map<std::string, Field>& registry() {
     f["traffic.fixed_speed_kmh"] = Field{
         [](const ScenarioConfig& s) {
           return s.traffic.fixed_speed_kmh
-                     ? print_double(*s.traffic.fixed_speed_kmh)
+                     ? format_double(*s.traffic.fixed_speed_kmh)
                      : std::string("none");
         },
         [](ScenarioConfig& s, const std::string& v) {
@@ -249,7 +241,7 @@ const std::map<std::string, Field>& registry() {
     f["traffic.fixed_angle_deg"] = Field{
         [](const ScenarioConfig& s) {
           return s.traffic.fixed_angle_deg
-                     ? print_double(*s.traffic.fixed_angle_deg)
+                     ? format_double(*s.traffic.fixed_angle_deg)
                      : std::string("none");
         },
         [](ScenarioConfig& s, const std::string& v) {
@@ -290,6 +282,45 @@ const std::map<std::string, Field>& registry() {
 }
 
 }  // namespace
+
+std::string format_double(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, end);
+}
+
+std::vector<std::string> split_fields(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t hit = s.find(delim, pos);
+    out.push_back(s.substr(pos, hit == std::string::npos ? hit : hit - pos));
+    if (hit == std::string::npos) break;
+    pos = hit + 1;
+  }
+  return out;
+}
+
+void apply_scenario_key(ScenarioConfig& scenario, const std::string& key,
+                        const std::string& value) {
+  const auto it = registry().find(key);
+  if (it == registry().end())
+    throw ConfigError("unknown scenario key '" + key +
+                      "' (see --dump-default for the full list)");
+  try {
+    it->second.parse(scenario, value);
+  } catch (const std::exception& e) {
+    throw ConfigError("bad value '" + value + "' for scenario key '" + key +
+                      "' (" + e.what() + ")");
+  }
+}
+
+std::vector<std::string> scenario_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(registry().size());
+  for (const auto& [key, field] : registry()) keys.push_back(key);
+  return keys;
+}
 
 void save_scenario(const ScenarioConfig& scenario, std::ostream& os) {
   os << "# facsp scenario (key = value; 'none' clears optional fields)\n";

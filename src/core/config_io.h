@@ -12,14 +12,37 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/scenario.h"
 
 namespace facsp::core {
 
+/// Shortest decimal that parses back to exactly the same double
+/// (std::to_chars: locale-independent, round-trip exact).  The one printer
+/// every dumped config and result file goes through, so emitted numbers can
+/// be compared byte-for-byte and re-parsed without precision loss.
+std::string format_double(double v);
+
+/// Split on a single-character delimiter, keeping empty tokens
+/// ("a,,b" -> {"a", "", "b"}; "" -> {""}).  The one splitter behind CSV
+/// parsing and every comma-list CLI flag.
+std::vector<std::string> split_fields(const std::string& s, char delim);
+
 /// Render the full scenario as key=value lines (every field, commented).
 void save_scenario(const ScenarioConfig& scenario, std::ostream& os);
 std::string scenario_to_string(const ScenarioConfig& scenario);
+
+/// Apply a single `key = value` assignment to an existing scenario, using
+/// the same field registry as load_scenario (so anything a config file can
+/// set, a sweep axis can set too).  Does not re-validate; callers mutate
+/// several keys and then validate once.  Throws facsp::ConfigError on an
+/// unknown key or an unparsable value.
+void apply_scenario_key(ScenarioConfig& scenario, const std::string& key,
+                        const std::string& value);
+
+/// Every key apply_scenario_key/load_scenario accepts, sorted.
+std::vector<std::string> scenario_keys();
 
 /// Parse key=value lines over a default-constructed scenario.  '#' starts
 /// a comment; blank lines are skipped.  Throws facsp::ParseError with a

@@ -4,7 +4,9 @@
 #include "cac/facs_p.h"
 #include "cac/guard_channel.h"
 #include "cac/scc.h"
+#include "common/error.h"
 #include "common/expects.h"
+#include "core/sweep.h"
 
 namespace facsp::core {
 
@@ -41,13 +43,6 @@ CellMetrics CellMetrics::from_run(int n, std::uint64_t replication,
   m.utilization_percent = 100.0 * run.center_utilization;
   m.completion_percent = 100.0 * run.metrics.completion_ratio();
   return m;
-}
-
-void CellMetrics::add_to(SweepPoint& point) const {
-  point.acceptance_percent.add(acceptance_percent);
-  point.dropping_percent.add(dropping_percent);
-  point.utilization_percent.add(utilization_percent);
-  point.completion_percent.add(completion_percent);
 }
 
 sim::Series SweepResult::acceptance_series(double ci_level) const {
@@ -126,20 +121,12 @@ RunResult Experiment::run_single(int n, std::uint64_t replication) const {
 SweepResult Experiment::run(const SweepConfig& sweep) const {
   FACSP_EXPECTS(!sweep.n_values.empty());
   FACSP_EXPECTS(sweep.replications >= 1);
-
-  SweepResult result;
-  result.policy_name = label_;
-  result.points.reserve(sweep.n_values.size());
-  for (int n : sweep.n_values) {
-    SweepPoint point;
-    point.n = n;
-    for (int r = 0; r < sweep.replications; ++r) {
-      const std::uint64_t rep = static_cast<std::uint64_t>(r);
-      CellMetrics::from_run(n, rep, run_single(n, rep)).add_to(point);
-    }
-    result.points.push_back(point);
-  }
-  return result;
+  // Delegates to the declarative sweep layer on a single thread (the
+  // SweepConfig::threads knob stays ignored here, as documented).  A
+  // one-thread SweepRunner executes inline and reduces in the same
+  // (n, replication) order as the old nested loop, so results are
+  // bit-identical to the historical serial path.
+  return run_legacy_sweep(scenario_, factory_, label_, sweep, /*threads=*/1);
 }
 
 PolicyFactory make_facs_p_factory(cac::FacsPConfig config) {
@@ -188,6 +175,46 @@ PolicyFactory make_complete_sharing_factory() {
   return [](const cellular::CellularNetwork&, sim::RngFactory&) {
     return std::make_unique<cac::CompleteSharingPolicy>();
   };
+}
+
+namespace {
+
+// The single policy-name table: lookup, name listing and error messages all
+// derive from it, so the three can never drift apart.
+struct PolicyRegistryEntry {
+  const char* name;
+  PolicyFactory (*make)();
+};
+
+constexpr PolicyRegistryEntry kPolicyRegistry[] = {
+    {"facs-p", [] { return make_facs_p_factory(); }},
+    {"facs-pr", [] { return make_facs_pr_factory(); }},
+    {"facs", [] { return make_facs_factory(); }},
+    {"scc", [] { return make_scc_factory(); }},
+    {"gc", [] { return make_guard_channel_factory(8.0); }},
+    {"fgc", [] { return make_fractional_guard_factory(8.0); }},
+    {"cs", [] { return make_complete_sharing_factory(); }},
+};
+
+}  // namespace
+
+PolicyFactory policy_factory_by_name(std::string_view name) {
+  for (const PolicyRegistryEntry& entry : kPolicyRegistry)
+    if (name == entry.name) return entry.make();
+  std::string valid;
+  for (const PolicyRegistryEntry& entry : kPolicyRegistry) {
+    if (!valid.empty()) valid += '|';
+    valid += entry.name;
+  }
+  throw ConfigError("unknown policy '" + std::string(name) + "' (" + valid +
+                    ")");
+}
+
+std::vector<std::string> policy_names() {
+  std::vector<std::string> names;
+  for (const PolicyRegistryEntry& entry : kPolicyRegistry)
+    names.emplace_back(entry.name);
+  return names;
 }
 
 }  // namespace facsp::core

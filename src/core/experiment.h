@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cac/facs.h"
@@ -60,9 +61,10 @@ struct SweepPoint {
 
 /// Scalar metrics of one (n, replication) run, in the units the sweep
 /// aggregates (percentages).  The single definition of "which numbers a
-/// sweep reduces": both the serial Experiment::run and the
-/// ParallelSweepRunner extract cells with from_run() and fold them with
-/// add_to(), so the two paths cannot drift apart.
+/// sweep reduces": every path extracts cells with from_run() and
+/// SweepRunner::run (core/sweep.h) — which Experiment::run and
+/// ParallelSweepRunner delegate to — performs the one reduction, so the
+/// paths cannot drift apart.
 struct CellMetrics {
   int n = 0;
   std::uint64_t replication = 0;
@@ -73,7 +75,6 @@ struct CellMetrics {
 
   static CellMetrics from_run(int n, std::uint64_t replication,
                               const RunResult& run);
-  void add_to(SweepPoint& point) const;
 };
 
 /// Result of a full sweep for one policy.
@@ -107,6 +108,7 @@ class Experiment {
   RunResult run_single(int n, std::uint64_t replication) const;
 
   const ScenarioConfig& scenario() const noexcept { return scenario_; }
+  const PolicyFactory& factory() const noexcept { return factory_; }
   const std::string& policy_label() const noexcept { return label_; }
 
  private:
@@ -124,5 +126,13 @@ PolicyFactory make_scc_factory(cac::SccConfig config = {});
 PolicyFactory make_guard_channel_factory(cellular::Bandwidth guard_bu);
 PolicyFactory make_fractional_guard_factory(cellular::Bandwidth guard_bu);
 PolicyFactory make_complete_sharing_factory();
+
+/// Name-keyed policy registry, shared by the sweep layer and every CLI:
+/// facs-p | facs-pr | facs | scc | gc | fgc | cs (guard policies use the
+/// paper's 8 BU reservation).  Throws facsp::ConfigError on unknown names,
+/// listing the valid ones.
+PolicyFactory policy_factory_by_name(std::string_view name);
+/// The registry's names, in canonical order.
+std::vector<std::string> policy_names();
 
 }  // namespace facsp::core

@@ -1,7 +1,7 @@
 #include "core/parallel_sweep.h"
 
 #include "common/expects.h"
-#include "sim/thread_pool.h"
+#include "core/sweep.h"
 
 namespace facsp::core {
 
@@ -16,37 +16,9 @@ SweepResult ParallelSweepRunner::run(const SweepConfig& sweep,
   FACSP_EXPECTS(!sweep.n_values.empty());
   FACSP_EXPECTS(sweep.replications >= 1);
   FACSP_EXPECTS(sweep.threads >= 0);
-
-  const std::size_t reps = static_cast<std::size_t>(sweep.replications);
-  const std::size_t total = sweep.n_values.size() * reps;
-
-  // Phase 1 — simulate: every cell writes its own pre-sized slot, so worker
-  // scheduling cannot affect the data, only when it is produced.
-  std::vector<CellMetrics> grid(total);
-  sim::ThreadPool pool(sim::ThreadPool::resolve_threads(sweep.threads));
-  pool.parallel_for(total, [&](std::size_t cell) {
-    const std::size_t point = cell / reps;
-    const std::uint64_t r = static_cast<std::uint64_t>(cell % reps);
-    const int n = sweep.n_values[point];
-    grid[cell] = CellMetrics::from_run(n, r, experiment_.run_single(n, r));
-  });
-
-  // Phase 2 — reduce serially in (n, replication) order: the exact sequence
-  // of SummaryStats::add calls the serial Experiment::run performs, hence
-  // bit-identical means/CIs (Welford accumulation is order-sensitive, so the
-  // fixed order is what buys exactness, not just the same multiset).
-  SweepResult result;
-  result.policy_name = experiment_.policy_label();
-  result.points.reserve(sweep.n_values.size());
-  std::size_t cell = 0;
-  for (int n : sweep.n_values) {
-    SweepPoint point;
-    point.n = n;
-    for (std::size_t r = 0; r < reps; ++r, ++cell) grid[cell].add_to(point);
-    result.points.push_back(point);
-  }
-  if (cells != nullptr) *cells = std::move(grid);
-  return result;
+  return run_legacy_sweep(experiment_.scenario(), experiment_.factory(),
+                          experiment_.policy_label(), sweep, sweep.threads,
+                          cells);
 }
 
 }  // namespace facsp::core

@@ -1,15 +1,10 @@
-// Deterministic parallel sweep runner: fans the (N, replication) cells of an
-// Experiment sweep across a sim::ThreadPool and reduces them in fixed
-// replication order, so the aggregated SweepResult is bit-identical to the
-// serial Experiment::run for every thread count.
-//
-// Why this is safe to parallelise: each cell builds its own SessionDriver
-// (network, event queue, RNG streams), its own policy instance from the
-// factory, and therefore its own InferenceScratch — no mutable state is
-// shared between cells.  Seeding flows through
-// hash_seed(scenario.seed, component, replication), so cell results depend
-// only on (scenario, n, replication), never on which worker ran them or
-// when.  The thread count is a pure throughput knob.
+// Deterministic parallel sweep runner over the legacy (N, replication)
+// grid.  Since the declarative sweep layer landed (core/sweep.h), this class
+// is a thin compatibility wrapper: run() forwards to run_legacy_sweep(),
+// which expresses the grid as a single-policy SweepSpec and executes it on
+// SweepRunner.  The guarantee is unchanged — the aggregated SweepResult is
+// bit-identical to the serial Experiment::run for every thread count
+// (ctest-enforced).  New code should build a SweepSpec directly.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,6 @@
-// Reporting helpers: CSV emission, crossover detection and the qualitative
-// "shape checks" that EXPERIMENTS.md records for each figure.
+// Reporting helpers: figure CSV emission, structured sweep-result writers
+// (CSV + JSON), crossover detection and the qualitative "shape checks" that
+// EXPERIMENTS.md records for each figure.
 #pragma once
 
 #include <iosfwd>
@@ -7,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sweep.h"
 #include "sim/timeseries.h"
 
 namespace facsp::core {
@@ -37,6 +39,48 @@ double mean_y(const sim::Series& s);
 /// Write a figure's CSV next to the bench output.  Throws facsp::Error on
 /// I/O failure.
 void write_csv(const sim::Figure& figure, const std::string& path);
+
+// --- structured sweep results ----------------------------------------------
+//
+// ResultTable writers with a stable, machine-consumable schema (documented
+// in docs/experiments.md).  CSV columns, in order:
+//
+//   <one column per axis, header = axis name> , replications ,
+//   acceptance_pct_mean , acceptance_pct_ci ,
+//   blocking_pct_mean   , blocking_pct_ci   ,
+//   dropping_pct_mean   , dropping_pct_ci   ,
+//   utilization_pct_mean, utilization_pct_ci,
+//   completion_pct_mean , completion_pct_ci
+//
+// Rows keep the table's row-major axis order; the ci columns are the
+// half-width at the table's ci_level.  Every double is printed with the
+// shortest-round-trip formatter (config_io's format_double), so output is
+// locale-independent, re-parses to exactly the same double, and two tables
+// with bit-identical contents serialise to byte-identical files — which is
+// what CI diffs across thread counts.
+
+/// Serialise the table as CSV.  Throws facsp::Error on I/O failure.
+void write_result_csv(const ResultTable& table, std::ostream& os);
+void write_result_csv(const ResultTable& table, const std::string& path);
+std::string result_csv_string(const ResultTable& table);
+
+/// Serialise the table as JSON: {"replications", "ci_level", "axes": [...],
+/// "rows": [{"coords": {axis: label, ...}, "n", "metrics": {name: {"mean",
+/// "ci", "stddev", "min", "max"}, ...}}]}.  Same double formatting and
+/// ordering guarantees as the CSV writer.
+void write_result_json(const ResultTable& table, std::ostream& os);
+void write_result_json(const ResultTable& table, const std::string& path);
+std::string result_json_string(const ResultTable& table);
+
+/// Minimal reader for the CSV files write_result_csv produces (one header
+/// line, comma-separated, no quoting — the writer rejects values containing
+/// commas or newlines, so files are never ragged).  Throws
+/// facsp::ParseError on ragged rows.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;  ///< cells as raw strings
+};
+CsvTable read_csv(std::istream& is);
 
 /// Render shape checks as a PASS/FAIL block.
 void print_shape_checks(std::ostream& os,

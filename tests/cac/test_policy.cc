@@ -1,0 +1,75 @@
+// Direct coverage of the score -> five-level verdict mapping
+// (verdict_from_score, cac/policy.h): the +/-0.15 and +/-0.45 boundaries
+// are the midpoints between the A/R term cores, and every policy's
+// AdmissionDecision goes through this function — so its edge behaviour is
+// pinned here instead of only indirectly through policy suites.
+#include "cac/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace facsp::cac {
+namespace {
+
+TEST(VerdictFromScore, UpperBoundaries) {
+  // Accept is an open interval: strictly above +0.45.
+  EXPECT_EQ(verdict_from_score(1.0), Verdict::kAccept);
+  EXPECT_EQ(verdict_from_score(std::nextafter(0.45, 1.0)), Verdict::kAccept);
+  EXPECT_EQ(verdict_from_score(0.45), Verdict::kWeakAccept);
+  EXPECT_EQ(verdict_from_score(0.30), Verdict::kWeakAccept);
+  EXPECT_EQ(verdict_from_score(std::nextafter(0.15, 1.0)),
+            Verdict::kWeakAccept);
+  EXPECT_EQ(verdict_from_score(0.15), Verdict::kNeutral);
+}
+
+TEST(VerdictFromScore, NeutralBandIsClosed) {
+  EXPECT_EQ(verdict_from_score(0.15), Verdict::kNeutral);
+  EXPECT_EQ(verdict_from_score(0.0), Verdict::kNeutral);
+  EXPECT_EQ(verdict_from_score(-0.15), Verdict::kNeutral);
+}
+
+TEST(VerdictFromScore, LowerBoundaries) {
+  // WeakReject is the closed band [-0.45, -0.15); Reject strictly below.
+  EXPECT_EQ(verdict_from_score(std::nextafter(-0.15, -1.0)),
+            Verdict::kWeakReject);
+  EXPECT_EQ(verdict_from_score(-0.30), Verdict::kWeakReject);
+  EXPECT_EQ(verdict_from_score(-0.45), Verdict::kWeakReject);
+  EXPECT_EQ(verdict_from_score(std::nextafter(-0.45, -1.0)),
+            Verdict::kReject);
+  EXPECT_EQ(verdict_from_score(-1.0), Verdict::kReject);
+}
+
+TEST(VerdictFromScore, ExtremesBeyondTheScoreRange) {
+  // Callers clamp to [-1, 1], but the mapping itself must stay total.
+  EXPECT_EQ(verdict_from_score(2.0), Verdict::kAccept);
+  EXPECT_EQ(verdict_from_score(-2.0), Verdict::kReject);
+  EXPECT_EQ(verdict_from_score(std::numeric_limits<double>::infinity()),
+            Verdict::kAccept);
+  EXPECT_EQ(verdict_from_score(-std::numeric_limits<double>::infinity()),
+            Verdict::kReject);
+  EXPECT_EQ(verdict_from_score(std::numeric_limits<double>::max()),
+            Verdict::kAccept);
+  EXPECT_EQ(verdict_from_score(-std::numeric_limits<double>::max()),
+            Verdict::kReject);
+}
+
+TEST(VerdictFromScore, NanFallsThroughToReject) {
+  // Every comparison against NaN is false, so the chain lands on kReject —
+  // the conservative end.  Pinned so a refactor cannot silently turn NaN
+  // into an admission.
+  EXPECT_EQ(verdict_from_score(std::numeric_limits<double>::quiet_NaN()),
+            Verdict::kReject);
+}
+
+TEST(VerdictFromScore, NamesMatchThePaperAbbreviations) {
+  EXPECT_EQ(to_string(Verdict::kAccept), "A");
+  EXPECT_EQ(to_string(Verdict::kWeakAccept), "WA");
+  EXPECT_EQ(to_string(Verdict::kNeutral), "NRNA");
+  EXPECT_EQ(to_string(Verdict::kWeakReject), "WR");
+  EXPECT_EQ(to_string(Verdict::kReject), "R");
+}
+
+}  // namespace
+}  // namespace facsp::cac

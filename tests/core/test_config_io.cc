@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/error.h"
@@ -207,6 +208,27 @@ TEST(ConfigIo, MalformedMixScheduleIsAnError) {
   EXPECT_THROW(
       scenario_from_string("traffic.mix_schedule = 0:0.9/0.9/0.9\n"),
       ParseError);
+}
+
+TEST(ConfigIo, ScenarioKeysEnumerateTheWholeRegistry) {
+  // scenario_keys() is the sweep layer's and `--list-keys`' view of the
+  // field registry: every key must round-trip through apply_scenario_key
+  // with the value save_scenario prints for it.
+  const std::vector<std::string> keys = scenario_keys();
+  ASSERT_FALSE(keys.empty());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  const std::string dump = scenario_to_string(ScenarioConfig{});
+  ScenarioConfig rebuilt;
+  for (const std::string& key : keys) {
+    const std::size_t at = dump.find('\n' + key + " = ");
+    ASSERT_NE(at, std::string::npos) << key;
+    const std::size_t begin = at + key.size() + 4;
+    const std::string value =
+        dump.substr(begin, dump.find('\n', begin) - begin);
+    EXPECT_NO_THROW(apply_scenario_key(rebuilt, key, value)) << key;
+  }
+  EXPECT_EQ(scenario_to_string(rebuilt), dump);
+  EXPECT_THROW(apply_scenario_key(rebuilt, "no.such.key", "1"), ConfigError);
 }
 
 }  // namespace
