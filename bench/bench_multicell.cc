@@ -1,0 +1,226 @@
+// Multi-cell engine bench: sharded-simulation throughput (cells/s, events/s)
+// with a built-in bit-identity check across engine thread counts, plus the
+// batched-vs-scalar admission path (decide_batch against a decide() loop on
+// realistic inter-cell handoff batches) with a steady-state allocation
+// audit of the batch path — the same counting-operator-new harness as
+// bench_workload / tests/fuzzy/test_zero_alloc.cc.
+//
+// Committed numbers live in BENCH_multicell.json.  Overrides:
+//   FACSP_BENCH_REPS   replications per engine timing loop (default 8)
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cac/policy.h"
+#include "core/config_io.h"
+#include "core/multicell.h"
+#include "sim/rng.h"
+#include "workload/catalog.h"
+
+using namespace facsp;
+
+namespace {
+
+int reps() {
+  if (const char* env = std::getenv("FACSP_BENCH_REPS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 8;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct EngineNumbers {
+  double runs_s = 0.0;
+  double cells_s = 0.0;
+  double events_s = 0.0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t accepted = 0;
+};
+
+EngineNumbers time_engine(const core::ScenarioConfig& scen, int n, int k_reps) {
+  std::uint64_t events = 0, handoffs = 0, accepted = 0;
+  const double t0 = now_s();
+  for (int r = 0; r < k_reps; ++r) {
+    core::MultiCellEngine engine(scen, core::make_facs_p_factory(),
+                                 static_cast<std::uint64_t>(r));
+    const core::MultiCellResult result = engine.run(n);
+    events += result.aggregate.events;
+    handoffs += result.aggregate.metrics.handoff_attempts();
+    accepted += result.aggregate.metrics.accepted_new();
+  }
+  const double secs = now_s() - t0;
+  EngineNumbers out;
+  out.runs_s = k_reps / secs;
+  out.cells_s = k_reps * static_cast<double>(scen.multicell.cells) / secs;
+  out.events_s = static_cast<double>(events) / secs;
+  out.handoffs = handoffs;
+  out.accepted = accepted;
+  return out;
+}
+
+/// Realistic inter-cell handoff batch: the request mix the engine's drain
+/// loop presents to decide_batch.
+std::vector<cac::AdmissionRequest> make_batch(std::size_t count) {
+  sim::RandomStream rng(7);
+  std::vector<cac::AdmissionRequest> reqs;
+  reqs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    cac::AdmissionRequest req;
+    req.id = 1 + i;
+    const auto svc = static_cast<cellular::ServiceClass>(rng.uniform_int(0, 2));
+    req.service = svc;
+    req.bandwidth = cellular::service_bandwidth(svc);
+    req.kind = cellular::RequestKind::kHandoff;
+    req.speed_kmh = rng.uniform(0.0, 120.0);
+    req.angle_deg = rng.uniform(-60.0, 60.0);
+    req.distance_m = 400.0;
+    req.mobile.position = {-400.0, 0.0};
+    req.mobile.speed_kmh = req.speed_kmh;
+    req.mobile.heading_deg = req.angle_deg;
+    req.now = 100.0;
+    reqs.push_back(req);
+  }
+  return reqs;
+}
+
+}  // namespace
+
+int main() {
+  const int kReps = reps();
+  int failures = 0;
+  std::string json = "{";
+
+  // --- sharded engine throughput ------------------------------------------
+  std::printf("=== Multi-cell engine: handover-storm, N=100/cell ===\n\n");
+  std::printf("  %-8s %10s %12s %14s\n", "cells", "runs/s", "cells/s",
+              "events/s");
+  for (const int cells : {1, 7, 19}) {
+    core::ScenarioConfig scen =
+        workload::catalog_scenario("multicell-handover-storm");
+    core::apply_scenario_key(scen, "sim.cells", std::to_string(cells));
+    scen.validate();
+    const EngineNumbers n = time_engine(scen, 100, kReps);
+    std::printf("  %-8d %10.2f %12.2f %14.0f\n", cells, n.runs_s, n.cells_s,
+                n.events_s);
+    json += (json.size() > 1 ? ", " : "") + std::string("\"cells") +
+            std::to_string(cells) + "_runs_s\": " + std::to_string(n.runs_s) +
+            ", \"cells" + std::to_string(cells) +
+            "_events_s\": " + std::to_string(n.events_s);
+  }
+
+  // --- bit-identity across engine thread counts ---------------------------
+  {
+    core::ScenarioConfig scen =
+        workload::catalog_scenario("multicell-handover-storm");
+    std::vector<core::RunResult> results;
+    for (const int threads : {1, 2, 4}) {
+      scen.multicell.threads = threads;
+      core::MultiCellEngine engine(scen, core::make_facs_p_factory(), 0);
+      results.push_back(engine.run(100).aggregate);
+    }
+    bool identical = true;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      identical = identical &&
+                  results[i].metrics.accepted_new() ==
+                      results[0].metrics.accepted_new() &&
+                  results[i].metrics.dropped() == results[0].metrics.dropped() &&
+                  results[i].metrics.completed() ==
+                      results[0].metrics.completed() &&
+                  results[i].metrics.handoff_attempts() ==
+                      results[0].metrics.handoff_attempts() &&
+                  results[i].events == results[0].events &&
+                  results[i].center_utilization ==
+                      results[0].center_utilization;
+    }
+    std::printf("\n  thread bit-identity (1/2/4 workers): %s\n",
+                identical ? "OK" : "FAIL");
+    if (!identical) ++failures;
+  }
+
+  // --- batched vs scalar admission ----------------------------------------
+  std::printf("\n=== Admission path: decide() loop vs decide_batch ===\n\n");
+  {
+    constexpr std::size_t kBatch = 64;
+    constexpr int kBatches = 2000;
+    const cellular::CellularNetwork network(0, 500.0, 40.0);
+    sim::RngFactory rng(42);
+    const auto policy = core::make_facs_p_factory()(network, rng);
+    const auto reqs = make_batch(kBatch);
+    std::vector<cac::AdmissionDecision> out(kBatch);
+
+    // Warm both paths (sizes every internal scratch buffer).
+    for (std::size_t i = 0; i < kBatch; ++i)
+      out[i] = policy->decide(reqs[i], network.center());
+    policy->decide_batch(reqs, network.center(), out);
+
+    double t0 = now_s();
+    for (int b = 0; b < kBatches; ++b)
+      for (std::size_t i = 0; i < kBatch; ++i)
+        out[i] = policy->decide(reqs[i], network.center());
+    const double scalar_s = now_s() - t0;
+
+    const std::size_t alloc_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    t0 = now_s();
+    for (int b = 0; b < kBatches; ++b)
+      policy->decide_batch(reqs, network.center(), out);
+    const double batch_s = now_s() - t0;
+    const double allocs_per_batch =
+        static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) -
+                            alloc_before) /
+        kBatches;
+
+    const double scalar_mdec = kBatch * kBatches / scalar_s / 1e6;
+    const double batch_mdec = kBatch * kBatches / batch_s / 1e6;
+    std::printf("  scalar decide():   %8.3f Mdecisions/s\n", scalar_mdec);
+    std::printf("  decide_batch():    %8.3f Mdecisions/s  (%.2fx)\n",
+                batch_mdec, batch_mdec / scalar_mdec);
+    std::printf("  allocs per steady-state batch: %.2f\n", allocs_per_batch);
+    json += ", \"scalar_mdec_s\": " + std::to_string(scalar_mdec) +
+            ", \"batch_mdec_s\": " + std::to_string(batch_mdec) +
+            ", \"batch_allocs\": " + std::to_string(allocs_per_batch);
+
+    // The drain loop's admission path must stay allocation-free once warm.
+    if (allocs_per_batch != 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: decide_batch allocated %.2f times per steady-state "
+                   "batch (expected 0)\n",
+                   allocs_per_batch);
+      ++failures;
+    }
+  }
+
+  json += "}";
+  std::printf("\n  json: %s\n", json.c_str());
+  return failures == 0 ? 0 : 1;
+}

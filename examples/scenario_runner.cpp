@@ -22,9 +22,11 @@
 
 #include "common/error.h"
 #include "core/config_io.h"
+#include "core/multicell.h"
 #include "core/paper.h"
 #include "core/report.h"
 #include "core/sweep.h"
+#include "sim/stats.h"
 #include "workload/catalog.h"
 
 using namespace facsp;
@@ -51,6 +53,12 @@ int usage(const char* argv0, FILE* dst) {
       "  --config <file>         start from a key=value config file\n"
       "  --seed <u64>            override the scenario seed (reproduce any\n"
       "                          sweep cell in isolation)\n"
+      "  --cells <int>           override sim.cells: shard the world into\n"
+      "                          that many super-grid cells (multi-cell\n"
+      "                          engine; single runs print per-cell rows)\n"
+      "  --cell-threads <int>    override sim.threads: workers draining\n"
+      "                          shards in parallel, 0 = all cores (pure\n"
+      "                          throughput knob, bit-identical results)\n"
       "\n"
       "Sweep axes (any of these selects sweep mode):\n"
       "  --policies <p1,p2,...>  policy axis (see --list-policies)\n"
@@ -61,7 +69,9 @@ int usage(const char* argv0, FILE* dst) {
       "Execution and output:\n"
       "  --n <int>               request count when no n axis (default 60)\n"
       "  --reps <int>            replications per cell (default 8)\n"
-      "  --threads <int>         worker threads, 0 = all cores (default 1)\n"
+      "  --threads <int>         worker threads, 0 = all cores (default 1);\n"
+      "                          in a multi-cell single run this drives the\n"
+      "                          shard workers unless --cell-threads is set\n"
       "  --out <prefix>          write <prefix>.csv and <prefix>.json\n"
       "\n"
       "Single-run mode (no axes): positional <policy> [N [reps [threads]]]\n"
@@ -114,22 +124,27 @@ struct Options {
   std::optional<std::string> scenario_name;
   std::optional<std::string> config_file;
   std::optional<std::uint64_t> seed;
+  std::optional<int> cells;
+  std::optional<int> cell_threads;
   std::vector<std::string> policies;
   std::vector<SweepAxisArg> sweeps;
   std::optional<std::string> out;
   std::string policy = "facs-p";
   int n = 60;
   int reps = 8;
-  int threads = 1;
+  /// Empty = not given (sweeps default to 1; multi-cell single runs fall
+  /// back to the scenario's sim.threads).
+  std::optional<int> threads;
   bool sweep_mode = false;
 };
 
 void print_single_run(const core::ResultTable& table,
                       const std::vector<core::CellMetrics>& cells,
                       const Options& opt, const std::string& scenario_label) {
+  const int threads = opt.threads.value_or(1);
   std::printf("scenario: %s  policy: %s  N=%d  replications=%d  threads=%s\n\n",
               scenario_label.c_str(), opt.policy.c_str(), opt.n, opt.reps,
-              opt.threads == 0 ? "auto" : std::to_string(opt.threads).c_str());
+              threads == 0 ? "auto" : std::to_string(threads).c_str());
   for (const core::CellMetrics& cell : cells)
     std::printf("  rep %2llu: accept %5.1f%%  drop %5.2f%%  util %5.1f%%\n",
                 static_cast<unsigned long long>(cell.replication),
@@ -161,6 +176,106 @@ void print_sweep(const core::ResultTable& table) {
   }
 }
 
+// Multi-cell single run: per-replication engine runs, per-cell and
+// aggregate rows (CBP = new-call blocking, CDP = handoff dropping — the
+// paper's split).  --out writes the same rows as a ResultTable with a
+// `cell` coordinate column ("cell0".."cellN", "all").
+int run_multicell_single(const core::ScenarioConfig& base, const Options& opt,
+                         const std::string& scenario_label) {
+  // Same input hygiene as the sweep path (which validates via SweepSpec).
+  if (opt.reps < 1) throw ConfigError("replications must be >= 1");
+  if (opt.n < 1) throw ConfigError("N must be >= 1");
+  const core::PolicyFactory factory = core::policy_factory_by_name(opt.policy);
+  const int cells = base.multicell.cells;
+
+  struct Row {
+    std::string label;
+    core::ResultRow result;
+    double ho_in = 0.0, ho_out = 0.0, left = 0.0;  // mean per replication
+  };
+  std::vector<Row> rows(static_cast<std::size_t>(cells) + 1);
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    core::MultiCellEngine engine(base, factory,
+                                 static_cast<std::uint64_t>(rep));
+    const core::MultiCellResult result = engine.run(opt.n);
+    // The same per-replication derivation + reduction the sweep layer
+    // performs (CellMetrics::from_run, CBP = 100 - acceptance), so this
+    // table's digits match a --sweep table of the same runs exactly.
+    const auto add = [&](Row& row, const core::RunResult& r) {
+      const core::CellMetrics m = core::CellMetrics::from_run(
+          opt.n, static_cast<std::uint64_t>(rep), r);
+      row.result.acceptance_percent.add(m.acceptance_percent);
+      row.result.blocking_percent.add(100.0 - m.acceptance_percent);
+      row.result.dropping_percent.add(m.dropping_percent);
+      row.result.utilization_percent.add(m.utilization_percent);
+      row.result.completion_percent.add(m.completion_percent);
+    };
+    for (int k = 0; k < cells; ++k) {
+      Row& row = rows[static_cast<std::size_t>(k)];
+      add(row, result.cells[static_cast<std::size_t>(k)].run);
+      row.ho_in += static_cast<double>(
+          result.cells[static_cast<std::size_t>(k)].handoffs_in);
+      row.ho_out += static_cast<double>(
+          result.cells[static_cast<std::size_t>(k)].handoffs_out);
+      row.left += static_cast<double>(
+          result.cells[static_cast<std::size_t>(k)].left_world);
+    }
+    add(rows.back(), result.aggregate);
+  }
+  for (int k = 0; k < cells; ++k) {
+    rows[static_cast<std::size_t>(k)].label = "cell" + std::to_string(k);
+    Row& row = rows[static_cast<std::size_t>(k)];
+    row.ho_in /= opt.reps;
+    row.ho_out /= opt.reps;
+    row.left /= opt.reps;
+  }
+  rows.back().label = "all";
+  for (Row& row : rows) row.result.n = opt.n;
+
+  std::printf(
+      "scenario: %s  policy: %s  N=%d/cell  replications=%d  cells=%d  "
+      "cell-threads=%s\n\n",
+      scenario_label.c_str(), opt.policy.c_str(), opt.n, opt.reps, cells,
+      base.multicell.threads == 0
+          ? "auto"
+          : std::to_string(base.multicell.threads).c_str());
+  std::printf("%-8s %9s %8s %8s %8s %8s %8s %8s\n", "cell", "accept%",
+              "CBP%", "CDP%", "util%", "ho_in", "ho_out", "left");
+  for (const Row& row : rows) {
+    std::printf("%-8s %9.2f %8.2f %8.2f %8.2f", row.label.c_str(),
+                row.result.acceptance_percent.mean(),
+                row.result.blocking_percent.mean(),
+                row.result.dropping_percent.mean(),
+                row.result.utilization_percent.mean());
+    if (row.label == "all")
+      std::printf(" %8s %8s %8s\n", "-", "-", "-");
+    else
+      std::printf(" %8.1f %8.1f %8.1f\n", row.ho_in, row.ho_out, row.left);
+  }
+  std::printf(
+      "\naggregate over %d replications: accept %.2f%% ±%.2f (95%% CI), "
+      "CBP %.2f%%, CDP %.2f%%\n",
+      opt.reps, rows.back().result.acceptance_percent.mean(),
+      rows.back().result.acceptance_percent.ci_half_width(),
+      rows.back().result.blocking_percent.mean(),
+      rows.back().result.dropping_percent.mean());
+
+  if (opt.out) {
+    core::ResultTable table;
+    table.axes = {"policy", "cell", "n"};
+    table.replications = opt.reps;
+    for (Row& row : rows) {
+      row.result.coords = {opt.policy, row.label, std::to_string(opt.n)};
+      table.rows.push_back(std::move(row.result));
+    }
+    core::write_result_csv(table, *opt.out + ".csv");
+    core::write_result_json(table, *opt.out + ".json");
+    std::printf("\nwrote %s.csv and %s.json\n", opt.out->c_str(),
+                opt.out->c_str());
+  }
+  return 0;
+}
+
 int run(const Options& opt) {
   // --- base scenario -------------------------------------------------------
   core::ScenarioConfig base;
@@ -177,6 +292,22 @@ int run(const Options& opt) {
     base = core::paper_scenario();
   }
   if (opt.seed) base.seed = *opt.seed;
+  if (opt.cells) base.multicell.cells = *opt.cells;
+  if (opt.cell_threads) base.multicell.threads = *opt.cell_threads;
+  if (opt.cells || opt.cell_threads) base.validate();
+
+  // Multi-cell single runs surface per-cell rows via the engine directly;
+  // sweeps keep aggregating (the engine runs inside every sweep cell).
+  // There is no per-replication parallelism on this path, so a plain
+  // --threads (or positional threads) drives the shard workers instead of
+  // being silently ignored; an explicit --cell-threads still wins.
+  if (!opt.sweep_mode && base.multicell.cells > 1) {
+    if (!opt.cell_threads && opt.threads) {
+      base.multicell.threads = *opt.threads;
+      base.validate();
+    }
+    return run_multicell_single(base, opt, scenario_label);
+  }
 
   // --- axes, in canonical order: policy, scenario, params, n ---------------
   core::SweepSpec spec;
@@ -184,7 +315,7 @@ int run(const Options& opt) {
   spec.fallback_policy = opt.policy;
   spec.fallback_n = opt.n;
   spec.replications = opt.reps;
-  spec.threads = opt.threads;
+  spec.threads = opt.threads.value_or(1);
 
   if (!opt.policies.empty()) spec.policy_axis(opt.policies);
   for (const SweepAxisArg& s : opt.sweeps) {
@@ -275,6 +406,11 @@ int main(int argc, char** argv) {
         opt.config_file = flag_value(i, "--config");
       } else if (arg == "--seed") {
         opt.seed = parse_u64(flag_value(i, "--seed"), "--seed");
+      } else if (arg == "--cells") {
+        opt.cells = parse_int(flag_value(i, "--cells"), "--cells");
+      } else if (arg == "--cell-threads") {
+        opt.cell_threads =
+            parse_int(flag_value(i, "--cell-threads"), "--cell-threads");
       } else if (arg == "--policies") {
         if (!opt.policies.empty()) throw ConfigError("policy axis given twice");
         opt.policies = split_csv(flag_value(i, "--policies"));

@@ -41,6 +41,20 @@ void MetricsCollector::record_drop(ServiceClass s) {
   ++dropped_total_;
 }
 
+void MetricsCollector::merge(const MetricsCollector& other) {
+  new_calls_.merge(other.new_calls_);
+  handoffs_.merge(other.handoffs_);
+  for (std::size_t i = 0; i < 3; ++i) {
+    new_by_service_[i].merge(other.new_by_service_[i]);
+    new_by_priority_[i].merge(other.new_by_priority_[i]);
+    handoff_by_service_[i].merge(other.handoff_by_service_[i]);
+    completed_[i] += other.completed_[i];
+    dropped_[i] += other.dropped_[i];
+  }
+  completed_total_ += other.completed_total_;
+  dropped_total_ += other.dropped_total_;
+}
+
 double MetricsCollector::acceptance_percent(double if_empty) const noexcept {
   return new_calls_.percent(if_empty);
 }

@@ -25,6 +25,10 @@ class MetricsCollector {
   void record_completion(ServiceClass s);
   void record_drop(ServiceClass s);
 
+  /// Accumulate another collector's counters (per-cell metrics -> network
+  /// aggregate in the multi-cell engine).
+  void merge(const MetricsCollector& other);
+
   // --- paper headline metric ---------------------------------------------
   /// Percentage of requesting (new) connections accepted; the y-axis of
   /// Figs. 7-10.  `if_empty` is returned when nothing was offered.

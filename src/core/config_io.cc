@@ -36,6 +36,21 @@ double parse_double(const std::string& v) {
   return x;
 }
 
+int parse_int(const std::string& v) {
+  std::size_t used = 0;
+  const int x = std::stoi(v, &used);
+  if (used != v.size()) throw std::invalid_argument("trailing characters");
+  return x;
+}
+
+std::uint64_t parse_u64(const std::string& v) {
+  if (v.empty() || v[0] == '-') throw std::invalid_argument("negative");
+  std::size_t used = 0;
+  const std::uint64_t x = std::stoull(v, &used);
+  if (used != v.size()) throw std::invalid_argument("trailing characters");
+  return x;
+}
+
 bool parse_bool(const std::string& v) {
   if (v == "true" || v == "1") return true;
   if (v == "false" || v == "0") return false;
@@ -56,11 +71,11 @@ const std::map<std::string, Field>& registry() {
     f["seed"] = Field{
         [](const ScenarioConfig& s) { return std::to_string(s.seed); },
         [](ScenarioConfig& s, const std::string& v) {
-          s.seed = std::stoull(v);
+          s.seed = parse_u64(v);
         }};
     f["rings"] = Field{
         [](const ScenarioConfig& s) { return std::to_string(s.rings); },
-        [](ScenarioConfig& s, const std::string& v) { s.rings = std::stoi(v); }};
+        [](ScenarioConfig& s, const std::string& v) { s.rings = parse_int(v); }};
     add_double(
         "cell_radius_m", [](const ScenarioConfig& s) { return s.cell_radius_m; },
         [](ScenarioConfig& s, double v) { s.cell_radius_m = v; });
@@ -87,6 +102,32 @@ const std::map<std::string, Field>& registry() {
         "spatial.highway_off_weight",
         [](const ScenarioConfig& s) { return s.spatial.highway_off_weight; },
         [](ScenarioConfig& s, double v) { s.spatial.highway_off_weight = v; });
+    // sim.*  (multi-cell sharding; see core/multicell.h)
+    f["sim.cells"] = Field{
+        [](const ScenarioConfig& s) {
+          return std::to_string(s.multicell.cells);
+        },
+        [](ScenarioConfig& s, const std::string& v) {
+          s.multicell.cells = parse_int(v);
+        }};
+    add_double(
+        "sim.epoch_s",
+        [](const ScenarioConfig& s) { return s.multicell.epoch_s; },
+        [](ScenarioConfig& s, double v) { s.multicell.epoch_s = v; });
+    add_double(
+        "sim.entry_fraction",
+        [](const ScenarioConfig& s) { return s.multicell.entry_fraction; },
+        [](ScenarioConfig& s, double v) { s.multicell.entry_fraction = v; });
+    // Pure throughput knob (worker threads draining shards); results are
+    // bit-identical for every value, so sharing configs across machines
+    // with different values changes nothing but wall-clock.
+    f["sim.threads"] = Field{
+        [](const ScenarioConfig& s) {
+          return std::to_string(s.multicell.threads);
+        },
+        [](ScenarioConfig& s, const std::string& v) {
+          s.multicell.threads = parse_int(v);
+        }};
     f["enable_mobility"] = Field{
         [](const ScenarioConfig& s) {
           return std::string(s.enable_mobility ? "true" : "false");

@@ -6,6 +6,7 @@
 #include "cac/scc.h"
 #include "common/error.h"
 #include "common/expects.h"
+#include "core/multicell.h"
 #include "core/sweep.h"
 
 namespace facsp::core {
@@ -70,52 +71,14 @@ Experiment::Experiment(ScenarioConfig scenario, PolicyFactory factory,
 }
 
 RunResult Experiment::run_single(int n, std::uint64_t replication) const {
-  // The policy must see the same network object the driver simulates, so
-  // build the driver first and hand its network to the factory.
-  // SessionDriver owns the network; policy construction needs it => create
-  // driver with a placeholder policy is impossible.  Instead: the factory
-  // contract is that the network reference stays valid for the run, so we
-  // construct the network inside the driver and rebuild the policy against
-  // it via a two-phase dance: driver exposes network().
-  struct Deferred : cac::AdmissionPolicy {
-    std::unique_ptr<cac::AdmissionPolicy> inner;
-    std::string_view name() const noexcept override {
-      return inner ? inner->name() : "deferred";
-    }
-    cac::AdmissionDecision decide(const cac::AdmissionRequest& req,
-                                  const cellular::BaseStation& bs) override {
-      return inner->decide(req, bs);
-    }
-    void decide_batch(std::span<const cac::AdmissionRequest> reqs,
-                      const cellular::BaseStation& bs,
-                      std::span<cac::AdmissionDecision> out) override {
-      inner->decide_batch(reqs, bs, out);
-    }
-    void on_admitted(const cac::AdmissionRequest& req,
-                     const cellular::BaseStation& bs) override {
-      inner->on_admitted(req, bs);
-    }
-    void on_released(cellular::ConnectionId id,
-                     cellular::ServiceClass service,
-                     const cellular::BaseStation& bs) override {
-      inner->on_released(id, service, bs);
-    }
-    void on_mobility(cellular::ConnectionId id,
-                     const cellular::MobileState& state,
-                     sim::SimTime now) override {
-      inner->on_mobility(id, state, now);
-    }
-    void reset() override {
-      if (inner) inner->reset();
-    }
-  };
-
-  Deferred deferred;
-  SessionDriver driver(scenario_, deferred, replication);
-  sim::RngFactory rng(
-      sim::hash_seed(scenario_.seed, "policy", replication));
-  deferred.inner = factory_(driver.network(), rng);
-  return driver.run(n);
+  // Every run — including the single-world paper run — goes through the
+  // multi-cell engine.  With the default multicell.cells = 1 it builds
+  // exactly one SessionDriver with the legacy seed roots ("driver" /
+  // "policy" under (scenario.seed, replication)) and a no-op inter-cell
+  // layer, so the result is bit-identical to the historical direct path —
+  // the PR 3 golden-cell tests enforce that equivalence on every run.
+  MultiCellEngine engine(scenario_, factory_, replication);
+  return engine.run(n).aggregate;
 }
 
 SweepResult Experiment::run(const SweepConfig& sweep) const {

@@ -1,0 +1,245 @@
+#include "core/multicell.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expects.h"
+#include "common/math_util.h"
+#include "sim/thread_pool.h"
+
+namespace facsp::core {
+
+namespace {
+
+/// Disjoint per-shard connection-id namespaces: migrating sessions keep
+/// their origin ids, so no two shards may ever mint the same one.  2^40
+/// leaves every shard the full legacy id space (spawner strides are 2^24).
+constexpr cellular::ConnectionId kCellIdOffset = 1ull << 40;
+
+/// Super-grid coordinates: centre-out ring spiral (the first `cells`
+/// coordinates of it), so cell 0 is always the centre and cells 1..6 its
+/// ring-1 neighbours.
+std::vector<cellular::HexCoord> spiral_coords(int cells) {
+  std::vector<cellular::HexCoord> out;
+  out.reserve(static_cast<std::size_t>(cells));
+  for (int radius = 0; static_cast<int>(out.size()) < cells; ++radius)
+    for (const cellular::HexCoord& c :
+         cellular::hex_ring(cellular::HexCoord{0, 0}, radius)) {
+      out.push_back(c);
+      if (static_cast<int>(out.size()) == cells) break;
+    }
+  return out;
+}
+
+}  // namespace
+
+MultiCellEngine::MultiCellEngine(const ScenarioConfig& scenario,
+                                 const PolicyFactory& factory,
+                                 std::uint64_t replication)
+    : scenario_(scenario) {
+  scenario_.validate();
+  FACSP_EXPECTS(static_cast<bool>(factory));
+
+  coords_ = spiral_coords(scenario_.multicell.cells);
+  index_.reserve(coords_.size());
+  for (std::size_t k = 0; k < coords_.size(); ++k)
+    index_.emplace(coords_[k], static_cast<int>(k));
+
+  // World angle of each hex neighbour direction (fixed E, NE, NW, W, SW, SE
+  // order).  Computed from the layout geometry, not hardcoded, so a change
+  // of hex orientation cannot desynchronise routing from the grid.
+  const cellular::HexLayout unit(1.0);
+  const auto dirs = cellular::hex_neighbors(cellular::HexCoord{0, 0});
+  for (std::size_t d = 0; d < dirs.size(); ++d) {
+    dir_[d] = dirs[d];
+    dir_angle_[d] = cellular::heading_deg(unit.center(cellular::HexCoord{0, 0}),
+                                          unit.center(dirs[d]));
+  }
+
+  shards_.reserve(coords_.size());
+  for (std::size_t k = 0; k < coords_.size(); ++k) {
+    // Cell 0 keeps the legacy seed roots so a 1-cell engine run *is* the
+    // historical single-world run, bit for bit; every other shard gets its
+    // own independent family under the "cell" component.
+    const std::uint64_t cell_seed =
+        k == 0 ? scenario_.seed
+               : sim::hash_seed(scenario_.seed, "cell",
+                                static_cast<std::uint64_t>(k));
+    ScenarioConfig cell_scenario = scenario_;
+    cell_scenario.seed = cell_seed;
+
+    Shard sh;
+    sh.policy = std::make_unique<cac::DeferredPolicy>();
+    sh.driver = std::make_unique<SessionDriver>(
+        cell_scenario, *sh.policy, replication,
+        kCellIdOffset * static_cast<cellular::ConnectionId>(k));
+    sim::RngFactory policy_rng(
+        sim::hash_seed(cell_seed, "policy", replication));
+    sh.policy->inner = factory(sh.driver->network(), policy_rng);
+    shards_.push_back(std::move(sh));
+  }
+}
+
+int MultiCellEngine::route_target(int cell, double heading_deg) const {
+  std::size_t best = 0;
+  double best_dist = angle_distance_deg(heading_deg, dir_angle_[0]);
+  for (std::size_t d = 1; d < 6; ++d) {
+    const double dist = angle_distance_deg(heading_deg, dir_angle_[d]);
+    if (dist < best_dist) {
+      best = d;
+      best_dist = dist;
+    }
+  }
+  const cellular::HexCoord& dir = dir_[best];
+  const cellular::HexCoord& from = coords_[static_cast<std::size_t>(cell)];
+  const auto it = index_.find(cellular::HexCoord{from.q + dir.q,
+                                                 from.r + dir.r});
+  return it == index_.end() ? -1 : it->second;
+}
+
+cellular::MobileState MultiCellEngine::entry_state(
+    const SessionDriver::CellDeparture& dep) const {
+  // Re-materialise in the destination frame: entering its centre cell from
+  // the side the user came from — entry_fraction * cell_radius behind the
+  // centre BS along the (unchanged) travel direction.  entry_fraction stays
+  // below the hex inradius ratio, so the point is always inside the cell.
+  cellular::MobileState s = dep.state;
+  const double h = deg_to_rad(s.heading_deg);
+  const double r = scenario_.cell_radius_m * scenario_.multicell.entry_fraction;
+  s.position = cellular::Point{-r * std::cos(h), -r * std::sin(h)};
+  return s;
+}
+
+void MultiCellEngine::route_epoch(sim::SimTime t_end) {
+  EpochStats es;
+  es.t_end = t_end;
+
+  for (Shard& sh : shards_) sh.inbox.clear();
+
+  // Phase 1 — route departures, in fixed (cell, drain-event) order.
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& src = shards_[k];
+    for (SessionDriver::CellDeparture& dep : src.outbox) {
+      ++es.departures;
+      const int dst =
+          route_target(static_cast<int>(k), dep.state.heading_deg);
+      if (observer_) es.routes.emplace_back(static_cast<int>(k), dst);
+      if (dst < 0) {
+        // Off the super-grid edge: the call leaves the modelled area as a
+        // completion, just like the single-world driver's semantics.
+        ++es.left_world;
+        ++src.left_world;
+        if (dep.measured)
+          src.driver->metrics().record_completion(dep.conn.service);
+        continue;
+      }
+      ++es.delivered;
+      ++src.handoffs_out;
+      ++shards_[static_cast<std::size_t>(dst)].handoffs_in;
+      SessionDriver::CellArrival a;
+      a.conn = dep.conn;
+      a.state = entry_state(dep);
+      a.when = t_end;
+      a.remaining_holding_s = dep.remaining_holding_s;
+      a.measured = dep.measured;
+      shards_[static_cast<std::size_t>(dst)].inbox.push_back(std::move(a));
+    }
+    src.outbox.clear();
+  }
+
+  // Phase 2 — batched admission: every destination cell's pending inbound
+  // handovers of this drain become ONE decide_batch call against its centre
+  // BS (one load snapshot per batch; allocation re-checks capacity, so an
+  // over-admitting burst degrades into drops, never negative counters).
+  for (Shard& sh : shards_) {
+    if (sh.inbox.empty()) continue;
+    sh.requests.clear();
+    for (const SessionDriver::CellArrival& a : sh.inbox)
+      sh.requests.push_back(sh.driver->inbound_request(a));
+    sh.decisions.resize(sh.inbox.size());
+    sh.policy->decide_batch(sh.requests, sh.driver->network().center(),
+                            sh.decisions);
+    for (std::size_t i = 0; i < sh.inbox.size(); ++i) {
+      const SessionDriver::CellArrival& a = sh.inbox[i];
+      const bool ok = sh.decisions[i].admitted &&
+                      sh.driver->admit_inbound(a, sh.requests[i]);
+      if (a.measured) sh.driver->metrics().record_handoff(a.conn.service, ok);
+      if (ok) {
+        ++es.admitted;
+      } else {
+        ++es.dropped;
+        if (a.measured) sh.driver->metrics().record_drop(a.conn.service);
+      }
+    }
+  }
+
+  if (observer_) {
+    for (const Shard& sh : shards_) {
+      es.active_sessions += sh.driver->session_count();
+      for (const cellular::BaseStation* bs : sh.driver->network().stations())
+        es.used_bu += bs->load().used;
+    }
+    observer_(es);
+  }
+}
+
+MultiCellResult MultiCellEngine::run(int n_requests_per_cell) {
+  FACSP_EXPECTS(!started_);
+  started_ = true;
+
+  for (Shard& sh : shards_) {
+    Shard* self = &sh;  // shards_ is stable from here on
+    sh.driver->set_departure_sink(
+        [self](SessionDriver::CellDeparture dep) {
+          self->outbox.push_back(std::move(dep));
+        });
+    sh.driver->begin(n_requests_per_cell);
+  }
+
+  // Never spawn more workers than there are shards to drain: run_single
+  // builds an engine per replication, so surplus threads would be pure
+  // spawn/join overhead (results are thread-count-invariant either way).
+  sim::ThreadPool pool(static_cast<unsigned>(std::min<std::size_t>(
+      sim::ThreadPool::resolve_threads(scenario_.multicell.threads),
+      shards_.size())));
+  const sim::SimTime dt = scenario_.multicell.epoch_s;
+  const sim::SimTime horizon = scenario_.horizon_s;
+  sim::SimTime t = 0.0;
+  while (t < horizon) {
+    bool any = false;
+    for (const Shard& sh : shards_) any = any || !sh.driver->idle();
+    if (!any) break;
+    const sim::SimTime t_end = std::min(t + dt, horizon);
+    // Parallel drain: share-nothing — each shard touches only its own
+    // driver/policy/outbox, so worker scheduling cannot affect results.
+    pool.parallel_for(shards_.size(), [&](std::size_t i) {
+      shards_[i].driver->advance_until(t_end);
+    });
+    // Serial barrier: routing + batched admission in fixed order.
+    route_epoch(t_end);
+    t = t_end;
+  }
+
+  MultiCellResult out;
+  out.cells.reserve(shards_.size());
+  RunResult agg;
+  double util_sum = 0.0;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    MultiCellResult::Cell c;
+    c.coord = coords_[k];
+    c.run = shards_[k].driver->result();
+    c.handoffs_out = shards_[k].handoffs_out;
+    c.handoffs_in = shards_[k].handoffs_in;
+    c.left_world = shards_[k].left_world;
+    agg.metrics.merge(c.run.metrics);
+    agg.duration_s = std::max(agg.duration_s, c.run.duration_s);
+    agg.events += c.run.events;
+    util_sum += c.run.center_utilization;
+    out.cells.push_back(std::move(c));
+  }
+  agg.center_utilization = util_sum / static_cast<double>(shards_.size());
+  out.aggregate = std::move(agg);
+  return out;
+}
+
+}  // namespace facsp::core

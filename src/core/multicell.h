@@ -1,0 +1,139 @@
+// Multi-cell sharded simulation: the scenario's world replicated into C
+// shards on a super hex grid, one SessionDriver + admission policy +
+// RNG-stream family per shard, driven in bulk-synchronous epochs over a
+// sim::ThreadPool with explicit inter-cell handovers exchanged at the
+// epoch barriers.
+//
+// Execution model
+//
+//   while any shard has pending events:
+//     parallel:  every shard drains its own event queue up to t + epoch_s,
+//                collecting sessions that crossed its service-area boundary
+//                into a shard-local outbox (no shared state is touched);
+//     barrier:   departures are routed serially in fixed (cell, event)
+//                order to the hex neighbour matching the exit heading —
+//                or complete if they fall off the super-grid edge — and
+//                each destination cell's pending arrivals are coalesced
+//                into ONE cac::AdmissionPolicy::decide_batch call against
+//                its centre base station (the zero-allocation batch path
+//                carrying real traffic).  Admitted sessions re-materialise
+//                in the destination at the epoch boundary; rejected or
+//                over-admitted ones are dropped (handoff failure).
+//
+// Determinism: the parallel phase is share-nothing (each shard owns its
+// driver, policy, scratch and RNG streams, seeded from
+// hash_seed(seed, "cell", cell_id) — cell 0 keeps the legacy roots), and
+// the barrier phase is serial in a fixed order, so results are
+// bit-identical for every thread count.  With cells = 1 the engine
+// degenerates to exactly the historical single-world SessionDriver run,
+// bit for bit (ctest-enforced against the PR 3 golden cells).
+//
+// See docs/experiments.md ("Multi-cell sharding") for the full argument.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cac/policy.h"
+#include "cellular/hexgrid.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "core/session.h"
+
+namespace facsp::core {
+
+/// Outcome of one multi-cell replication: per-cell results plus the
+/// network-wide aggregate (merged counters — CBP from the new-call counter,
+/// CDP from the handoff counter, exactly the paper's split).
+struct MultiCellResult {
+  struct Cell {
+    cellular::HexCoord coord;        ///< super-grid coordinate of the shard
+    RunResult run;                   ///< the shard's metrics/utilization/events
+    std::uint64_t handoffs_out = 0;  ///< departures routed to a neighbour shard
+    std::uint64_t handoffs_in = 0;   ///< inter-cell attempts delivered here
+    std::uint64_t left_world = 0;    ///< departures off the super-grid edge
+  };
+  std::vector<Cell> cells;
+  /// Merged view in RunResult form: counters summed across cells,
+  /// utilization averaged, duration = max, events summed.  For cells = 1
+  /// this equals the single-world RunResult bit for bit.
+  RunResult aggregate;
+};
+
+/// Executes one replication of a ScenarioConfig whose `multicell.cells`
+/// shards form the super grid.  Constructed per (scenario, replication) —
+/// exactly like SessionDriver, which it generalises.
+class MultiCellEngine {
+ public:
+  MultiCellEngine(const ScenarioConfig& scenario, const PolicyFactory& factory,
+                  std::uint64_t replication);
+
+  /// One barrier's accounting, handed to the epoch observer (conservation
+  /// property tests).  delivered + left_world == departures and
+  /// admitted + dropped == delivered at every epoch.
+  struct EpochStats {
+    sim::SimTime t_end = 0.0;
+    std::uint64_t departures = 0;  ///< outbox records collected this drain
+    std::uint64_t delivered = 0;   ///< routed to an in-grid neighbour
+    std::uint64_t left_world = 0;  ///< no neighbour: left the modelled area
+    std::uint64_t admitted = 0;    ///< inbound handovers admitted
+    std::uint64_t dropped = 0;     ///< inbound handovers rejected / over-admitted
+    /// One (source cell, destination cell) record per departure, in routing
+    /// order; destination -1 means the super-grid edge.
+    std::vector<std::pair<int, int>> routes;
+    std::uint64_t active_sessions = 0;  ///< network-wide, after the barrier
+    double used_bu = 0.0;               ///< network-wide occupied bandwidth
+  };
+  using EpochObserver = std::function<void(const EpochStats&)>;
+  void set_epoch_observer(EpochObserver obs) { observer_ = std::move(obs); }
+
+  /// Run the replication: every shard offers `n_requests_per_cell` new
+  /// calls (shaped by its own spatial map), epochs proceed until every
+  /// shard drained or the horizon hit.  Call at most once per engine.
+  MultiCellResult run(int n_requests_per_cell);
+
+  int cell_count() const noexcept { return static_cast<int>(shards_.size()); }
+  const cellular::HexCoord& cell_coord(int cell) const {
+    return coords_[static_cast<std::size_t>(cell)];
+  }
+  /// Destination shard for a departure leaving `cell` with the given
+  /// heading: the hex neighbour whose direction is angularly closest, or
+  /// -1 when that neighbour is off the super grid.  Exposed for tests.
+  int route_target(int cell, double heading_deg) const;
+
+  /// Shard introspection for the property tests (per-BS LoadState etc.).
+  const SessionDriver& driver(int cell) const {
+    return *shards_[static_cast<std::size_t>(cell)].driver;
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<cac::DeferredPolicy> policy;
+    std::unique_ptr<SessionDriver> driver;
+    std::vector<SessionDriver::CellDeparture> outbox;  ///< filled during drain
+    std::vector<SessionDriver::CellArrival> inbox;     ///< filled at barrier
+    // Reused across epochs: steady-state barriers allocate nothing.
+    std::vector<cac::AdmissionRequest> requests;
+    std::vector<cac::AdmissionDecision> decisions;
+    std::uint64_t handoffs_out = 0;
+    std::uint64_t handoffs_in = 0;
+    std::uint64_t left_world = 0;
+  };
+
+  cellular::MobileState entry_state(
+      const SessionDriver::CellDeparture& dep) const;
+  void route_epoch(sim::SimTime t_end);
+
+  ScenarioConfig scenario_;
+  std::vector<cellular::HexCoord> coords_;
+  std::unordered_map<cellular::HexCoord, int, cellular::HexCoordHash> index_;
+  cellular::HexCoord dir_[6] = {};  ///< the six hex neighbour offsets
+  double dir_angle_[6] = {};  ///< world angle of each hex neighbour direction
+  std::vector<Shard> shards_;
+  EpochObserver observer_;
+  bool started_ = false;
+};
+
+}  // namespace facsp::core

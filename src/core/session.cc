@@ -14,7 +14,8 @@ using cellular::RequestKind;
 
 SessionDriver::SessionDriver(const ScenarioConfig& scenario,
                              cac::AdmissionPolicy& policy,
-                             std::uint64_t replication)
+                             std::uint64_t replication,
+                             cellular::ConnectionId id_offset)
     : scenario_(scenario),
       policy_(policy),
       // The driver's streams live under their own "driver" component, while
@@ -36,7 +37,7 @@ SessionDriver::SessionDriver(const ScenarioConfig& scenario,
                           scenario_.traffic, network_->layout(),
                           cellular::HexCoord{0, 0},
                           network_->center().position(),
-                          rng_.stream("traffic", 0), 1),
+                          rng_.stream("traffic", 0), 1 + id_offset),
                       spatial.weight(cellular::HexCoord{0, 0},
                                      network_->center().position())});
   for (cellular::BaseStation* bs : network_->stations()) {
@@ -47,7 +48,7 @@ SessionDriver::SessionDriver(const ScenarioConfig& scenario,
                             scenario_.traffic, network_->layout(),
                             bs->coord(), bs->position(),
                             rng_.stream("traffic", bs->id() + 1),
-                            kIdStride * (bs->id() + 1)),
+                            kIdStride * (bs->id() + 1) + id_offset),
                         w});
   }
   mobility_ = std::make_unique<cellular::MobilityModel>(
@@ -133,6 +134,26 @@ void SessionDriver::finish(Session& s, ConnectionState final_state) {
   sessions_.erase(s.conn.id);
 }
 
+SessionDriver::CellDeparture SessionDriver::depart(Session& s) {
+  CellDeparture d;
+  d.conn = s.conn;
+  d.state = s.state;
+  d.when = sim_.now();
+  // The completion event would fire at start + holding; what is left of the
+  // call continues in whichever cell admits it.
+  d.remaining_holding_s = std::max(
+      0.0, s.conn.start_time + s.conn.holding_time - sim_.now());
+  d.measured = s.measured;
+  if (s.conn.state == ConnectionState::kActive && s.serving != nullptr) {
+    s.serving->release(s.conn.id, sim_.now());
+    policy_.on_released(s.conn.id, s.conn.service, *s.serving);
+  }
+  sim_.cancel(s.completion);
+  sim_.cancel(s.next_move);
+  sessions_.erase(s.conn.id);
+  return d;
+}
+
 void SessionDriver::handle_completion(ConnectionId id) {
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) return;  // already finished
@@ -169,6 +190,12 @@ void SessionDriver::handle_mobility(ConnectionId id) {
   cellular::BaseStation* here =
       network_->station_covering(s.state.position);
   if (here == nullptr) {
+    if (departure_sink_) {
+      // Multi-cell mode: the session crosses into a neighbouring shard; the
+      // inter-cell layer routes it (or completes it at the world edge).
+      departure_sink_(depart(s));
+      return;
+    }
     // Left the modelled service area: the call leaves the system with its
     // resources freed (counted as a normal completion — the network did not
     // fail it).
@@ -183,7 +210,49 @@ void SessionDriver::handle_mobility(ConnectionId id) {
                                  [this, id] { handle_mobility(id); });
 }
 
-RunResult SessionDriver::run(int n_requests) {
+cac::AdmissionRequest SessionDriver::inbound_request(
+    const CellArrival& arrival) {
+  cellular::BaseStation* bs =
+      network_->station_covering(arrival.state.position);
+  FACSP_ENSURES(bs != nullptr);  // entry_fraction keeps entries in-cell
+  auto req = make_request(arrival.conn, arrival.state, RequestKind::kHandoff,
+                          *bs);
+  req.now = arrival.when;
+  return req;
+}
+
+bool SessionDriver::admit_inbound(const CellArrival& arrival,
+                                  const cac::AdmissionRequest& req) {
+  cellular::BaseStation* bs =
+      network_->station_covering(arrival.state.position);
+  FACSP_ENSURES(bs != nullptr);
+
+  Session s;
+  s.conn = arrival.conn;
+  s.state = arrival.state;
+  s.measured = arrival.measured;
+  if (!bs->allocate(s.conn, arrival.when, /*via_handoff=*/true))
+    return false;  // the batch over-admitted past physical capacity
+  policy_.on_admitted(req, *bs);
+  s.serving = bs;
+  s.conn.state = ConnectionState::kActive;
+  s.conn.start_time = arrival.when;
+  s.conn.holding_time = arrival.remaining_holding_s;
+  ++s.conn.handoff_count;
+
+  const ConnectionId id = s.conn.id;
+  s.completion =
+      sim_.schedule_at(arrival.when + arrival.remaining_holding_s,
+                       [this, id] { handle_completion(id); });
+  if (scenario_.enable_mobility)
+    s.next_move = sim_.schedule_at(arrival.when + scenario_.mobility_update_s,
+                                   [this, id] { handle_mobility(id); });
+  const bool inserted = sessions_.emplace(id, std::move(s)).second;
+  FACSP_ENSURES(inserted);  // shard id namespaces are disjoint
+  return true;
+}
+
+void SessionDriver::begin(int n_requests) {
   FACSP_EXPECTS(n_requests >= 0);
   policy_.reset();
   network_->start_metrics(0.0);
@@ -198,8 +267,13 @@ RunResult SessionDriver::run(int n_requests) {
       });
     }
   }
-  sim_.run_until(scenario_.horizon_s);
+}
 
+std::uint64_t SessionDriver::advance_until(sim::SimTime t) {
+  return sim_.run_until(t);
+}
+
+RunResult SessionDriver::result() const {
   RunResult result;
   result.metrics = metrics_;
   // Average over the active period (first arrival batch to last event),
@@ -211,6 +285,12 @@ RunResult SessionDriver::run(int n_requests) {
   result.center_utilization =
       network_->center().average_utilization(end);
   return result;
+}
+
+RunResult SessionDriver::run(int n_requests) {
+  begin(n_requests);
+  sim_.run_until(scenario_.horizon_s);
+  return result();
 }
 
 }  // namespace facsp::core

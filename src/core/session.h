@@ -1,8 +1,14 @@
 // Session driver: executes one replication of the paper's experiment —
 // N requesting connections arriving in the centre cell, admission control,
 // call holding, mobility, handoff between cells, and metric collection.
+//
+// The driver can run a whole replication in one call (run()) or be driven
+// incrementally (begin() + advance_until()) by the multi-cell engine
+// (core/multicell.h), which shards one driver per super-grid cell and
+// exchanges inter-cell handovers between them at epoch boundaries.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -31,13 +37,79 @@ class SessionDriver {
  public:
   /// `replication` seeds the run's random streams (common random numbers:
   /// the same (scenario.seed, replication) pair generates the same workload
-  /// for every policy).
+  /// for every policy).  `id_offset` shifts every generated connection id —
+  /// the multi-cell engine gives each shard a disjoint id namespace so
+  /// sessions migrating between shards can never collide (0 keeps the
+  /// historical single-world ids).
   SessionDriver(const ScenarioConfig& scenario, cac::AdmissionPolicy& policy,
-                std::uint64_t replication);
+                std::uint64_t replication, cellular::ConnectionId id_offset = 0);
 
   /// Simulate `n_requests` new-call requests and run until every admitted
   /// call completed, dropped, or left the network (or the horizon hit).
+  /// Equivalent to begin(n_requests) + advance_until(horizon) + result().
   RunResult run(int n_requests);
+
+  // --- incremental interface (multi-cell engine) ---------------------------
+
+  /// A session leaving this driver's service area.  When a departure sink is
+  /// installed the session's resources are released here and the record is
+  /// handed to the sink (the inter-cell layer decides its fate); without a
+  /// sink the call simply leaves the modelled area as a completion.
+  struct CellDeparture {
+    cellular::Connection conn;
+    cellular::MobileState state;          ///< position just outside the disc
+    sim::SimTime when = 0.0;
+    sim::SimTime remaining_holding_s = 0.0;
+    bool measured = true;
+  };
+  using DepartureSink = std::function<void(CellDeparture)>;
+  void set_departure_sink(DepartureSink sink) {
+    departure_sink_ = std::move(sink);
+  }
+
+  /// An inter-cell handover arriving into this driver's world at `when`
+  /// (state already mapped into this driver's coordinate frame).
+  struct CellArrival {
+    cellular::Connection conn;
+    cellular::MobileState state;
+    sim::SimTime when = 0.0;
+    sim::SimTime remaining_holding_s = 0.0;
+    bool measured = true;
+  };
+
+  /// Schedule the replication's arrivals and reset the policy/metrics.
+  /// First half of run(); must be called exactly once before advance_until.
+  void begin(int n_requests);
+
+  /// Fire events with timestamp <= t.  Returns the number fired.
+  std::uint64_t advance_until(sim::SimTime t);
+
+  /// True when no events remain (the shard drained).
+  bool idle() const noexcept { return !sim_.has_pending(); }
+
+  /// Snapshot of the run's metrics so far (final when idle()).
+  RunResult result() const;
+
+  /// The admission request an inbound handover presents to the base station
+  /// covering its entry position.  Consumes one direction-predictor draw,
+  /// exactly like any other handoff request.
+  cac::AdmissionRequest inbound_request(const CellArrival& arrival);
+
+  /// Complete an *admitted* inbound handover: allocate on the covering BS,
+  /// create the session, schedule its completion/mobility events.  Returns
+  /// false — and changes nothing — when the call no longer physically fits
+  /// (batched decisions are taken against one load snapshot, so a burst can
+  /// over-admit); the caller records the drop.  Does not record metrics:
+  /// the engine attributes the handoff attempt to this cell's collector.
+  bool admit_inbound(const CellArrival& arrival,
+                     const cac::AdmissionRequest& req);
+
+  /// Mutable metrics access for the inter-cell layer (handoff attempts,
+  /// drops and left-world completions are attributed per cell).
+  cellular::MetricsCollector& metrics() noexcept { return metrics_; }
+
+  /// Currently active (admitted, not yet finished) sessions in this world.
+  std::size_t session_count() const noexcept { return sessions_.size(); }
 
   const cellular::CellularNetwork& network() const noexcept { return *network_; }
 
@@ -56,6 +128,9 @@ class SessionDriver {
   void handle_mobility(cellular::ConnectionId id);
   void do_handoff(Session& s, cellular::BaseStation& target);
   void finish(Session& s, cellular::ConnectionState final_state);
+  /// Release the session's resources and erase it *without* recording a
+  /// completion or drop: its fate now belongs to the inter-cell layer.
+  CellDeparture depart(Session& s);
 
   cac::AdmissionRequest make_request(const cellular::Connection& conn,
                                      const cellular::MobileState& state,
@@ -81,6 +156,7 @@ class SessionDriver {
   std::unique_ptr<cellular::DirectionPredictor> predictor_;
   cellular::MetricsCollector metrics_;
   std::unordered_map<cellular::ConnectionId, Session> sessions_;
+  DepartureSink departure_sink_;
 };
 
 }  // namespace facsp::core

@@ -101,6 +101,12 @@ struct RatioCounter {
   void hit() noexcept { ++numerator; ++denominator; }
   void miss() noexcept { ++denominator; }
 
+  /// Accumulate another counter (per-shard metrics -> aggregate).
+  void merge(const RatioCounter& other) noexcept {
+    numerator += other.numerator;
+    denominator += other.denominator;
+  }
+
   /// numerator/denominator, or `if_empty` when nothing was counted.
   double ratio(double if_empty = 0.0) const noexcept {
     return denominator == 0

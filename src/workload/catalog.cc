@@ -74,6 +74,31 @@ void register_builtins(ScenarioCatalog& catalog) {
                 return s;
               });
 
+  catalog.add("multicell-ring1",
+              "7 sharded single-BS cells on a ring-1 super-grid; every cell "
+              "runs the paper workload, handovers cross shard boundaries",
+              [] {
+                core::ScenarioConfig s = core::paper_scenario();
+                // One BS per shard: the super grid IS the cell grid, so
+                // every handoff is an inter-cell (batched) admission.
+                s.rings = 0;
+                s.multicell.cells = 7;
+                return s;
+              });
+
+  catalog.add("multicell-handover-storm",
+              "7 sharded 500 m cells, paper speed mix compressed into a "
+              "450 s window: calls cross several cells per holding time, "
+              "handover admissions dominate the decision mix",
+              [] {
+                core::ScenarioConfig s = core::paper_scenario();
+                s.rings = 0;
+                s.multicell.cells = 7;
+                s.cell_radius_m = 500.0;
+                s.traffic.arrival_window_s = 450.0;
+                return s;
+              });
+
   catalog.add("mix-shift",
               "service mix shifts video-heavy (40/20/40) halfway through "
               "the window — the ROADMAP's ratio sweep in one scenario",
