@@ -21,6 +21,48 @@ double FuzzyCacBase::correction_value(const AdmissionRequest& req) const {
   return flc1_->evaluate_with(scratch_, in);
 }
 
+void FuzzyCacBase::decide_batch(std::span<const AdmissionRequest> reqs,
+                                const cellular::BaseStation& bs,
+                                std::span<AdmissionDecision> out) {
+  FACSP_EXPECTS(reqs.size() == out.size());
+  const std::size_t n = reqs.size();
+  if (n == 0) return;
+
+  // Stage 1: every request's FLC1 row (speed, angle, third input), batched
+  // through the lane kernels.  batch_out receives the Cv per request.
+  scratch_.batch_rows.resize(n * 3);
+  scratch_.batch_out.resize(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    scratch_.batch_rows[r * 3 + 0] = reqs[r].speed_kmh;
+    scratch_.batch_rows[r * 3 + 1] = reqs[r].angle_deg;
+    scratch_.batch_rows[r * 3 + 2] = flc1_third_input(reqs[r]);
+  }
+  flc1_->evaluate_batch_with(scratch_, scratch_.batch_rows,
+                             scratch_.batch_out);
+
+  // Stage 2: rebuild the rows in place as FLC2 inputs (Cv, bandwidth,
+  // counter state) and batch again.  Both controllers are stateless and
+  // counter_state() does not consult the lane scratch, so each score equals
+  // the one decide() computes request-by-request.
+  for (std::size_t r = 0; r < n; ++r) {
+    scratch_.batch_rows[r * 3 + 0] = scratch_.batch_out[r];
+    scratch_.batch_rows[r * 3 + 1] = static_cast<double>(reqs[r].bandwidth);
+    scratch_.batch_rows[r * 3 + 2] = counter_state(reqs[r], bs);
+  }
+  flc2_->evaluate_batch_with(scratch_, scratch_.batch_rows,
+                             scratch_.batch_out);
+
+  for (std::size_t r = 0; r < n; ++r) {
+    double score = scratch_.batch_out[r];
+    if (reqs[r].kind == cellular::RequestKind::kHandoff)
+      score += handoff_score_bonus_;
+    out[r].score = score;
+    out[r].verdict = verdict_from_score(score);
+    out[r].admitted =
+        score > accept_threshold_ && bs.can_fit(reqs[r].bandwidth);
+  }
+}
+
 AdmissionDecision FuzzyCacBase::decide(const AdmissionRequest& req,
                                        const cellular::BaseStation& bs) {
   const double cv = correction_value(req);

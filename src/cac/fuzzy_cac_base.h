@@ -27,9 +27,16 @@ class FuzzyCacBase : public AdmissionPolicy {
   AdmissionDecision decide(const AdmissionRequest& req,
                            const cellular::BaseStation& bs) final;
 
-  // decide_batch() is inherited from AdmissionPolicy: its decide() loop
-  // already reuses this class's member scratch for every FLC1 + FLC2
-  // evaluation, so steady-state batches are allocation-free.
+  /// Batched form: stages all rows of FLC1, then all rows of FLC2, through
+  /// the structure-of-arrays lane kernels (SIMD when enabled) instead of
+  /// cascading per request.  Both controllers are stateless and the counter
+  /// state does not depend on the request, so every decision is identical —
+  /// bit-identical, by the lane kernels' contract — to decide() on that
+  /// request.  Allocation-free at steady state (asserted by the zero-alloc
+  /// audit).
+  void decide_batch(std::span<const AdmissionRequest> reqs,
+                    const cellular::BaseStation& bs,
+                    std::span<AdmissionDecision> out) final;
 
   const fuzzy::FuzzyController& flc1() const noexcept { return *flc1_; }
   const fuzzy::FuzzyController& flc2() const noexcept { return *flc2_; }

@@ -1,5 +1,7 @@
 #include "fuzzy/controller.h"
 
+#include <algorithm>
+
 #include "common/expects.h"
 #include "fuzzy/rule.h"
 
@@ -49,9 +51,34 @@ void FuzzyController::evaluate_batch(std::span<const double> crisp_inputs,
                                 << out.size() * inputs_.size()
                                 << " inputs, got " << crisp_inputs.size());
   static thread_local InferenceScratch scratch;
+  evaluate_batch_with(scratch, crisp_inputs, out);
+}
+
+void FuzzyController::evaluate_batch_with(InferenceScratch& scratch,
+                                          std::span<const double> crisp_inputs,
+                                          std::span<double> out) const {
+  FACSP_EXPECTS_MSG(crisp_inputs.size() == out.size() * inputs_.size(),
+                    "batch of " << out.size() << " rows needs "
+                                << out.size() * inputs_.size()
+                                << " inputs, got " << crisp_inputs.size());
+  constexpr std::size_t W = InferenceEngine::kLanes;
   const std::size_t stride = inputs_.size();
-  for (std::size_t r = 0; r < out.size(); ++r)
-    out[r] = evaluate_with(scratch, crisp_inputs.subspan(r * stride, stride));
+  const std::size_t terms = output_.term_count();
+  for (std::size_t r0 = 0; r0 < out.size(); r0 += W) {
+    const std::size_t rows = std::min(W, out.size() - r0);
+    engine_->infer_batch_into(crisp_inputs.subspan(r0 * stride, rows * stride),
+                              rows, scratch);
+    // Defuzzification stays scalar: gather each lane's activations back into
+    // the per-evaluation buffer (same values infer_into() would produce).
+    scratch.activations.resize(terms);
+    for (std::size_t l = 0; l < rows; ++l) {
+      for (std::size_t k = 0; k < terms; ++k)
+        scratch.activations[k] = scratch.lane_activations[k * W + l];
+      out[r0 + l] = defuzz_.defuzzify(scratch.activations,
+                                      engine_->options().implication, output_,
+                                      scratch.mu);
+    }
+  }
 }
 
 Explanation FuzzyController::explain(

@@ -65,6 +65,15 @@ class FuzzyController {
   void evaluate_batch(std::span<const double> crisp_inputs,
                       std::span<double> out) const;
 
+  /// Explicit-scratch form of evaluate_batch(): rows are processed in
+  /// structure-of-arrays blocks of InferenceEngine::kLanes through the lane
+  /// kernels (SIMD when enabled), then defuzzified per row.  Each output is
+  /// bit-identical to evaluate_with() on that row.  Zero heap allocations
+  /// once `scratch` is warm.
+  void evaluate_batch_with(InferenceScratch& scratch,
+                           std::span<const double> crisp_inputs,
+                           std::span<double> out) const;
+
   /// Evaluate and capture the full rule-firing explanation.
   Explanation explain(std::span<const double> crisp_inputs) const;
 

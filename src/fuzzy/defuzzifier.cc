@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,119 @@
 #include "common/expects.h"
 
 namespace facsp::fuzzy {
+
+namespace {
+
+// --- analytic alpha-cut centroid -------------------------------------------
+//
+// Under min (clip) or product (scale) implication an implicated
+// piecewise-linear term is the pointwise MIN of at most three affine
+// functions of y: the alpha plateau, the (scaled) rising edge and the
+// (scaled) falling edge.  A min of affine functions is concave piecewise
+// linear, so its only breakpoints are pairwise line crossings and it can be
+// integrated exactly with the trapezoid rule between consecutive crossings
+// — no term-piece domain bookkeeping at all.
+
+/// A small bag of affine functions y -> s*y + t representing one concave
+/// min.  Capacity 6: {plateau, rise, fall} for each term of an adjacent
+/// overlap pair.
+struct AffineMin {
+  double s[6];
+  double t[6];
+  int n = 0;
+
+  void add(double slope, double intercept) noexcept {
+    s[n] = slope;
+    t[n] = intercept;
+    ++n;
+  }
+
+  double eval(double x) const noexcept {
+    double v = s[0] * x + t[0];
+    for (int i = 1; i < n; ++i) {
+      const double w = s[i] * x + t[i];
+      v = w < v ? w : v;
+    }
+    return v;
+  }
+};
+
+/// Exactly integrate m(y) = min_i(s_i*y + t_i) over [x0, x1], adding
+/// sign * (area, first moment) into the accumulators.  Between consecutive
+/// pairwise crossings m is affine, so the trapezoid rule is exact; the
+/// closed-form first moment of an affine segment is
+///   integral y*m(y) dy = h/6 * (m0*(2*x0 + x1) + m1*(x0 + 2*x1)).
+void integrate_concave_min(const AffineMin& f, double x0, double x1,
+                           double sign, double& area,
+                           double& moment) noexcept {
+  if (!(x0 < x1)) return;
+  double xs[2 + 15];  // endpoints + C(6,2) pairwise crossings
+  int m = 0;
+  xs[m++] = x0;
+  for (int i = 0; i < f.n; ++i) {
+    for (int j = i + 1; j < f.n; ++j) {
+      const double ds = f.s[i] - f.s[j];
+      if (ds == 0.0) continue;
+      const double x = (f.t[j] - f.t[i]) / ds;
+      if (x > x0 && x < x1) xs[m++] = x;
+    }
+  }
+  xs[m++] = x1;
+  // Candidates arrive nearly sorted; insertion sort is O(m) then.
+  for (int i = 1; i < m; ++i) {
+    const double v = xs[i];
+    int j = i - 1;
+    for (; j >= 0 && xs[j] > v; --j) xs[j + 1] = xs[j];
+    xs[j + 1] = v;
+  }
+  double xp = xs[0];
+  double mp = f.eval(xp);
+  for (int i = 1; i < m; ++i) {
+    const double x = xs[i];
+    if (!(x > xp)) continue;
+    const double mu = f.eval(x);
+    const double h = x - xp;
+    area += sign * (0.5 * h * (mp + mu));
+    moment += sign * (h * (mp * (2.0 * xp + x) + mu * (xp + 2.0 * x)) / 6.0);
+    xp = x;
+    mp = mu;
+  }
+}
+
+/// Append the affine pieces of one implicated term.  Valid on the term's
+/// support (where rise/fall are non-negative), which is exactly where it is
+/// integrated.  Min implication clips at alpha; product scales by alpha —
+/// in both cases the plateau line is the constant alpha (alpha * 1).
+void implicated_term_lines(const MembershipFunction& mf, double alpha,
+                           Implication impl, AffineMin& f) noexcept {
+  const double scale = impl == Implication::kProduct ? alpha : 1.0;
+  f.add(0.0, alpha);
+  const double a = mf.a(), b = mf.b(), c = mf.c(), d = mf.d();
+  if (std::isfinite(b) && b > a) f.add(scale / (b - a), -scale * a / (b - a));
+  if (std::isfinite(c) && d > c) f.add(-scale / (d - c), scale * d / (d - c));
+}
+
+/// The analytic decomposition needs the output terms to be sorted left to
+/// right with at most adjacent-pair support overlap: then no y has three
+/// positive terms, and max over terms = sum of terms minus the min over each
+/// adjacent overlapping pair (inclusion-exclusion that terminates at pairs).
+/// Every paper output variable (Cv's 9-term and A/R's 5-term uniform
+/// partitions) satisfies this; anything else falls back to the grid.
+bool ordered_adjacent_partition(const LinguisticVariable& v) noexcept {
+  const auto& terms = v.terms();
+  const std::size_t n = terms.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const MembershipFunction& mf = terms[k].mf;
+    if (k + 1 < n) {
+      const MembershipFunction& nx = terms[k + 1].mf;
+      if (!(mf.a() <= nx.a() && mf.d() <= nx.d())) return false;
+    }
+    if (k + 2 < n && !(mf.d() <= terms[k + 2].mf.a())) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 const char* to_string(DefuzzMethod m) noexcept {
   switch (m) {
@@ -48,6 +162,7 @@ void Defuzzifier::prime(const LinguisticVariable& output) {
   auto grid = std::make_shared<Grid>();
   grid->variable = &output;
   grid->resolution = resolution_;
+  grid->analytic_ok = ordered_adjacent_partition(output);
   const double lo = output.universe_lo();
   const double hi = output.universe_hi();
   const double dy = (hi - lo) / (resolution_ - 1);
@@ -96,7 +211,11 @@ double Defuzzifier::defuzzify(std::span<const double> activations,
 
   if (method_ == DefuzzMethod::kWeightedAverage)
     return weighted_average(activations, output);
-  if (primed_for(output))
+  const bool primed = primed_for(output);
+  if (analytic_ && analytic_supported(method_, aggregation_, implication) &&
+      (primed ? grid_->analytic_ok : ordered_adjacent_partition(output)))
+    return centroid_analytic(activations, implication, output);
+  if (primed)
     return defuzzify_grid(*grid_, activations, implication, output,
                           mu_scratch);
   switch (method_) {
@@ -191,6 +310,59 @@ double Defuzzifier::defuzzify_grid(const Grid& grid,
   }
 }
 
+bool Defuzzifier::analytic_supported(DefuzzMethod method, SNorm aggregation,
+                                     Implication implication) noexcept {
+  return method == DefuzzMethod::kCentroid &&
+         aggregation == SNorm::kMaximum &&
+         (implication == Implication::kMinimum ||
+          implication == Implication::kProduct);
+}
+
+bool Defuzzifier::analytic_applicable(const LinguisticVariable& output,
+                                      Implication implication) const noexcept {
+  return analytic_ && analytic_supported(method_, aggregation_, implication) &&
+         (primed_for(output) ? grid_->analytic_ok
+                             : ordered_adjacent_partition(output));
+}
+
+double Defuzzifier::centroid_analytic(std::span<const double> activations,
+                                      Implication impl,
+                                      const LinguisticVariable& output) const {
+  const double lo = output.universe_lo();
+  const double hi = output.universe_hi();
+  double area = 0.0, moment = 0.0;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t prev = kNone;      // last integrated term index
+  double prev_alpha = 0.0;       // its (clamped) activation
+  for (std::size_t k = 0; k < activations.size(); ++k) {
+    double alpha = activations[k];
+    if (alpha <= 0.0) continue;
+    const MembershipFunction& mf = output.term(k).mf;
+    if (mf.is_singleton()) continue;  // zero measure under any integral
+    // Clip implication saturates at the term's height 1, so alpha > 1 (only
+    // reachable through the raw API) behaves exactly like alpha == 1.
+    if (impl == Implication::kMinimum && alpha > 1.0) alpha = 1.0;
+    AffineMin one;
+    implicated_term_lines(mf, alpha, impl, one);
+    integrate_concave_min(one, std::max(mf.a(), lo), std::min(mf.d(), hi),
+                          1.0, area, moment);
+    if (prev != kNone && k == prev + 1) {
+      // Adjacent overlap: max(f, g) = f + g - min(f, g), and the partition
+      // property guarantees no third term is positive there.
+      const MembershipFunction& pm = output.term(prev).mf;
+      AffineMin pair;
+      implicated_term_lines(pm, prev_alpha, impl, pair);
+      implicated_term_lines(mf, alpha, impl, pair);
+      integrate_concave_min(pair, std::max(mf.a(), lo), std::min(pm.d(), hi),
+                            -1.0, area, moment);
+    }
+    prev = k;
+    prev_alpha = alpha;
+  }
+  if (area <= 0.0) return 0.5 * (lo + hi);
+  return moment / area;
+}
+
 double Defuzzifier::centroid(std::span<const double> activations,
                              Implication impl,
                              const LinguisticVariable& output) const {
@@ -275,6 +447,75 @@ double Defuzzifier::weighted_average(std::span<const double> activations,
   if (den <= 0.0)
     return 0.5 * (output.universe_lo() + output.universe_hi());
   return num / den;
+}
+
+ResolutionTuning tune_centroid_resolution(const LinguisticVariable& output,
+                                          Implication implication,
+                                          SNorm aggregation,
+                                          double abs_error_bound,
+                                          int min_resolution,
+                                          int max_resolution) {
+  if (!Defuzzifier::analytic_supported(DefuzzMethod::kCentroid, aggregation,
+                                       implication) ||
+      !ordered_adjacent_partition(output))
+    throw ConfigError(
+        "tune_centroid_resolution: the analytic centroid is unavailable for "
+        "this (implication, aggregation, term layout); there is no exact "
+        "reference to tune against");
+  if (abs_error_bound <= 0.0)
+    throw ConfigError("tune_centroid_resolution: abs_error_bound must be > 0");
+  if (min_resolution < 8) min_resolution = 8;
+  if (max_resolution < min_resolution) max_resolution = min_resolution;
+
+  // Deterministic probe set: every term alone at a few heights, every
+  // adjacent pair, and pseudo-random mixtures from a fixed LCG.
+  const std::size_t terms = output.term_count();
+  std::vector<std::vector<double>> probes;
+  for (std::size_t k = 0; k < terms; ++k) {
+    for (const double h : {1.0, 0.6, 0.25}) {
+      std::vector<double> acts(terms, 0.0);
+      acts[k] = h;
+      probes.push_back(std::move(acts));
+    }
+    if (k + 1 < terms) {
+      std::vector<double> acts(terms, 0.0);
+      acts[k] = 0.8;
+      acts[k + 1] = 0.35;
+      probes.push_back(std::move(acts));
+    }
+  }
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next_unit = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(state >> 11) * 0x1p-53;
+  };
+  for (int p = 0; p < 32; ++p) {
+    std::vector<double> acts(terms, 0.0);
+    for (std::size_t k = 0; k < terms; ++k) {
+      const double u = next_unit();
+      acts[k] = u < 0.5 ? 0.0 : 2.0 * (u - 0.5);  // ~half the terms silent
+    }
+    probes.push_back(std::move(acts));
+  }
+
+  Defuzzifier exact(DefuzzMethod::kCentroid, min_resolution, aggregation);
+  std::vector<double> reference(probes.size());
+  std::vector<double> mu;
+  for (std::size_t i = 0; i < probes.size(); ++i)
+    reference[i] = exact.defuzzify(probes[i], implication, output, mu);
+
+  for (int res = min_resolution;; res = std::min(res * 2, max_resolution)) {
+    Defuzzifier grid(DefuzzMethod::kCentroid, res, aggregation);
+    grid.set_analytic_centroid(false);
+    grid.prime(output);
+    double err = 0.0;
+    for (std::size_t i = 0; i < probes.size(); ++i)
+      err = std::max(err, std::abs(grid.defuzzify(probes[i], implication,
+                                                  output, mu) -
+                                   reference[i]));
+    if (err <= abs_error_bound) return {res, err, true};
+    if (res >= max_resolution) return {res, err, false};
+  }
 }
 
 }  // namespace facsp::fuzzy

@@ -12,6 +12,18 @@
 //    by prime() — tight fused loops over flat arrays with zero allocations.
 // FuzzyController primes its defuzzifier at construction, so all controller
 // evaluations take the fast path.
+//
+// For the default configuration — centroid method, max aggregation, min or
+// product implication, and an output variable whose terms form an ordered
+// partition with only adjacent-pair support overlap (every paper variable) —
+// a third path computes the centroid *analytically*: each implicated term is
+// a concave min of affine functions (alpha cut + rising/falling edges), so
+// its area and first moment integrate in closed form, and the max envelope
+// decomposes by inclusion-exclusion as single-term integrals minus the
+// pairwise min over each adjacent overlap.  No grid, no O(resolution) work,
+// exact up to rounding.  Unsupported methods/norms/term layouts fall back to
+// the grid automatically; set_analytic_centroid(false) forces the grid path
+// (used by the grid-parity tests and the resolution auto-tuner).
 #pragma once
 
 #include <memory>
@@ -76,6 +88,25 @@ class Defuzzifier {
   int resolution() const noexcept { return resolution_; }
   SNorm aggregation() const noexcept { return aggregation_; }
 
+  /// True when (method, aggregation, implication) admits the closed-form
+  /// alpha-cut centroid.  The term-layout requirement is checked separately
+  /// (see analytic_applicable()).
+  static bool analytic_supported(DefuzzMethod method, SNorm aggregation,
+                                 Implication implication) noexcept;
+
+  /// True when defuzzify(..., implication, output, ...) would take the
+  /// analytic path: analytic centroids enabled, the operator combination is
+  /// supported, and `output`'s terms form an ordered adjacent-overlap
+  /// partition.
+  bool analytic_applicable(const LinguisticVariable& output,
+                           Implication implication) const noexcept;
+
+  /// Enable/disable the analytic centroid path (default: enabled).  With it
+  /// disabled every centroid evaluation uses the resolution-point grid —
+  /// retained as an independent cross-check and for error measurement.
+  void set_analytic_centroid(bool enabled) noexcept { analytic_ = enabled; }
+  bool analytic_centroid() const noexcept { return analytic_; }
+
  private:
   /// Precomputed sample tables for one output variable.  Immutable after
   /// construction and shared by copies of the defuzzifier.
@@ -84,6 +115,7 @@ class Defuzzifier {
     int resolution = 0;
     std::vector<double> ys;           ///< y value of each grid point
     std::vector<double> term_grades;  ///< term-major: [term * resolution + i]
+    bool analytic_ok = false;  ///< term layout admits the analytic centroid
   };
 
   /// Aggregated membership at sample y (naive path).
@@ -96,6 +128,9 @@ class Defuzzifier {
 
   double centroid(std::span<const double> activations, Implication impl,
                   const LinguisticVariable& output) const;
+  double centroid_analytic(std::span<const double> activations,
+                           Implication impl,
+                           const LinguisticVariable& output) const;
   double bisector(std::span<const double> activations, Implication impl,
                   const LinguisticVariable& output,
                   std::vector<double>& mu_scratch) const;
@@ -107,7 +142,32 @@ class Defuzzifier {
   DefuzzMethod method_;
   int resolution_;
   SNorm aggregation_;
+  bool analytic_ = true;
   std::shared_ptr<const Grid> grid_;
 };
+
+/// Result of tune_centroid_resolution().
+struct ResolutionTuning {
+  int resolution = 0;        ///< smallest probed grid meeting the bound
+  double max_abs_error = 0;  ///< worst |grid - analytic| observed at it
+  bool met_bound = false;    ///< false: even max_resolution missed the bound
+};
+
+/// Pick the smallest grid resolution whose centroid differs from the
+/// analytic (exact) centroid by at most `abs_error_bound` across a
+/// deterministic probe set of activation vectors (every term alone at
+/// several heights, every adjacent pair, and pseudo-random mixtures).
+/// Resolutions are probed doubling from max(8, min_resolution) up to
+/// max_resolution; if even that misses the bound, the result carries
+/// met_bound = false and the measured error so callers can decide.
+/// Throws facsp::ConfigError when the analytic centroid is unavailable for
+/// (output, implication, aggregation) — without an exact reference there is
+/// nothing to tune against.
+ResolutionTuning tune_centroid_resolution(const LinguisticVariable& output,
+                                          Implication implication,
+                                          SNorm aggregation,
+                                          double abs_error_bound,
+                                          int min_resolution = 8,
+                                          int max_resolution = 1 << 14);
 
 }  // namespace facsp::fuzzy

@@ -8,6 +8,7 @@
 // every output term — which the defuzzifier turns into a crisp value.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -65,6 +66,11 @@ struct InferenceOptions {
   TNorm t_norm = TNorm::kMinimum;
   SNorm s_norm = SNorm::kMaximum;
   Implication implication = Implication::kMinimum;
+  /// Allow the SIMD kernels on the batched path (only effective when the
+  /// library is built with FACSP_SIMD and the CPU supports them).  The
+  /// scalar fallback is bit-identical, so this is a performance knob only;
+  /// the bit-identity tests build one controller with each setting.
+  bool simd = true;
 };
 
 /// Aggregated inference result: one activation level per output term.
@@ -104,12 +110,28 @@ struct InferenceScratch {
   std::vector<double> activations;  ///< one activation per output term
   std::vector<FiredRule> fired;     ///< fired-rule buffer (traced path only)
   std::vector<double> mu;           ///< defuzzifier sample buffer
+
+  // Structure-of-arrays block for the batched path (infer_batch_into /
+  // evaluate_batch_with): lane-major flat arrays of kLanes decisions each,
+  // laid out so one index step moves across decisions, not across terms —
+  // the per-lane loops then compile to (or are hand-written as) SIMD.
+  std::vector<double> lane_inputs;       ///< [input * kLanes + lane]
+  std::vector<double> lane_grades;       ///< [grade slot * kLanes + lane]
+  std::vector<double> lane_activations;  ///< [output term * kLanes + lane]
+
+  // Row staging for multi-controller cascades over one batch (the fuzzy CAC
+  // decide_batch builds FLC1's rows, then FLC2's rows, in place here).
+  std::vector<double> batch_rows;  ///< row-major [row * input_count + i]
+  std::vector<double> batch_out;   ///< one crisp value per row
 };
 
 /// Stateless Mamdani inference engine over a fixed (inputs, output, rules)
 /// triple.  Thread-safe: evaluation does not mutate the engine.
 class InferenceEngine {
  public:
+  /// Decisions processed per structure-of-arrays block by the batched path.
+  static constexpr std::size_t kLanes = 8;
+
   /// The referenced variables and rule base must outlive the engine; the
   /// FuzzyController owns all of them and the engine internally.
   InferenceEngine(const std::vector<LinguisticVariable>& inputs,
@@ -137,12 +159,65 @@ class InferenceEngine {
   void infer_traced_into(std::span<const double> crisp_inputs,
                          InferenceScratch& scratch) const;
 
+  /// Structure-of-arrays batched inference over `rows` decisions (1 <=
+  /// rows <= kLanes): `crisp_inputs` holds rows * input-count values
+  /// row-major; scratch.lane_activations receives every output term's
+  /// activation per lane ([term * kLanes + lane]; lanes >= rows are padding
+  /// and must be ignored).  Per lane the result is bit-identical to
+  /// infer_into() on that lane's row — with the SIMD kernels enabled or not
+  /// (kernels use only min/max/mul/add/sub/div lane ops, never FMA, in the
+  /// scalar evaluation order).  Zero heap allocations once scratch is warm.
+  void infer_batch_into(std::span<const double> crisp_inputs,
+                        std::size_t rows, InferenceScratch& scratch) const;
+
+  /// True when infer_batch_into() dispatches to hand-written SIMD kernels
+  /// (library built with FACSP_SIMD, options.simd, CPU support).
+  bool simd_active() const noexcept { return simd_active_; }
+
   const InferenceOptions& options() const noexcept { return options_; }
 
   /// Total input-grade slots a scratch uses (sum of input term counts).
   std::size_t grade_count() const noexcept { return total_grades_; }
 
  private:
+  /// One rule flattened for the hot loops: a window into rule_slots_ (the
+  /// grade-arena indices of its non-wildcard antecedents, in antecedent
+  /// order) plus weight and consequent term.
+  struct FlatRule {
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::uint32_t consequent = 0;
+    double weight = 1.0;
+  };
+
+  /// Per grade slot: the term geometry the branchless lane fuzzifier needs.
+  /// `ba`/`dc` are the exact denominators (b - a, d - c) the scalar grade()
+  /// divides by, precomputed so the lane kernel performs the identical
+  /// division.  `fast` is false for singletons and zero-width-edge
+  /// degenerates, which take a scalar per-lane fallback through mf->grade().
+  struct LaneTerm {
+    double a = 0.0, ba = 1.0, d = 0.0, dc = 1.0;
+    double lo = 0.0, hi = 0.0;  ///< universe clamp bounds
+    bool left_open = false;     ///< b == -inf: rising edge is constant 1
+    bool right_open = false;    ///< c == +inf: falling edge is constant 1
+    bool fast = false;
+    const MembershipFunction* mf = nullptr;
+  };
+
+  /// Dense antecedent-indexed rule table for the sparse-fire scalar fast
+  /// path: entry [t0 * n1 * n2 + t1 * n2 + t2] holds the consequent and
+  /// weight of the rule whose antecedents are exactly (t0, t1, t2), or
+  /// consequent -1 where no rule exists.  Built only for wildcard-free,
+  /// duplicate-free rule bases under max aggregation (see ctor).
+  struct DenseRule {
+    std::int32_t consequent = -1;
+    double weight = 1.0;
+  };
+  /// Stack bounds for the sparse-fire enumeration in run(); rule bases
+  /// exceeding them simply keep the linear scan.
+  static constexpr std::size_t kMaxDenseInputs = 8;
+  static constexpr std::size_t kMaxDenseTerms = 16;
+
   double combine_and(double a, double b) const noexcept;
   double combine_or(double a, double b) const noexcept;
   /// Shared core of all evaluation entry points; collects fired rules only
@@ -150,12 +225,23 @@ class InferenceEngine {
   void run(std::span<const double> crisp_inputs, InferenceScratch& scratch,
            std::vector<FiredRule>* fired) const;
 
+  /// Lane kernels behind infer_batch_into(): portable flat loops vs
+  /// hand-written SIMD (defined in inference_batch.cc).
+  void infer_lanes_generic(InferenceScratch& scratch) const;
+  void infer_lanes_simd(InferenceScratch& scratch) const;
+
   const std::vector<LinguisticVariable>& inputs_;
   const LinguisticVariable& output_;
   const RuleBase& rules_;
   InferenceOptions options_;
   std::vector<std::size_t> grade_offsets_;  ///< input i's offset in grades
   std::size_t total_grades_ = 0;
+  std::vector<FlatRule> flat_rules_;
+  std::vector<std::uint32_t> rule_slots_;
+  std::vector<DenseRule> dense_rules_;  ///< antecedent-tuple indexed
+  bool dense_ok_ = false;
+  std::vector<LaneTerm> lane_terms_;  ///< one per grade slot
+  bool simd_active_ = false;
 };
 
 }  // namespace facsp::fuzzy

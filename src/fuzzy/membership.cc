@@ -96,9 +96,18 @@ double MembershipFunction::grade(double x) const noexcept {
     if (x >= d_ && c_ == kInf) return 1.0;   // unreachable (d_=+inf), safety
     return 0.0;
   }
-  if (x < b_) return (x - a_) / (b_ - a_);  // rising edge; b_ finite here
-  if (x <= c_) return 1.0;                  // plateau
-  return (d_ - x) / (d_ - c_);              // falling edge; c_ finite here
+  // Interior (a, d): min(rise, fall, 1) with no branch on x's position.
+  // On the plateau both edge ratios have numerator >= denominator > 0, so
+  // each quotient rounds to >= 1 and the min yields exactly 1.0; on the
+  // rising edge the falling ratio is >= 1 and vice versa, so the min picks
+  // the exact same division the branchy form evaluated — bit-identical
+  // output.  The remaining two ternaries compile to min/max instructions;
+  // the shoulder checks are per-object constants (perfectly predicted),
+  // unlike the per-call x < b_ / x <= c_ branches they replace.
+  const double rise = b_ == -kInf ? 1.0 : (x - a_) / (b_ - a_);
+  const double fall = c_ == kInf ? 1.0 : (d_ - x) / (d_ - c_);
+  const double g = rise < fall ? rise : fall;
+  return g < 1.0 ? g : 1.0;
 }
 
 double MembershipFunction::core_center() const noexcept {

@@ -1,0 +1,182 @@
+// Bit-identity of the structure-of-arrays batched inference path.
+//
+// The contract under test (inference.h, infer_batch_into): per row, batched
+// evaluation returns the *bit-identical* double the scalar path produces —
+// whether the lane kernels are the portable flat loops or the hand-written
+// SIMD ones (FACSP_SIMD + options.simd + CPU support).  Every comparison
+// here is EXPECT_EQ on doubles, not EXPECT_NEAR: the determinism guarantees
+// of the sweep/multicell layers (thread-count invariance, golden replay)
+// ride on exact equality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "cac/facs_flc.h"
+#include "fuzzy/builder.h"
+#include "fuzzy/controller.h"
+
+namespace facsp::fuzzy {
+namespace {
+
+/// Random crisp rows for a controller: mostly in-universe, with deliberate
+/// out-of-universe and NaN entries (both must behave exactly like the
+/// scalar path: clamped, respectively graded 0 everywhere).
+std::vector<double> fuzz_rows(std::mt19937_64& rng, const FuzzyController& c,
+                              std::size_t rows) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<double> data(rows * c.input_count());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < c.input_count(); ++i) {
+      const auto& v = c.input(i);
+      const double span = v.universe_hi() - v.universe_lo();
+      double x = v.universe_lo() + span * uni(rng);
+      const auto pick = rng() % 12;
+      if (pick == 0) x = v.universe_lo() - span * uni(rng);  // below
+      if (pick == 1) x = v.universe_hi() + span * uni(rng);  // above
+      if (pick == 2) x = std::numeric_limits<double>::quiet_NaN();
+      if (pick == 3) x = v.universe_lo();  // exact edges
+      if (pick == 4) x = v.universe_hi();
+      data[r * c.input_count() + i] = x;
+    }
+  }
+  return data;
+}
+
+/// evaluate_batch over sizes 1..max_rows must equal evaluate_with row by
+/// row, bitwise (NaN outputs would also have to match, but no input maps to
+/// a NaN output — empty sets defuzzify to the universe midpoint).
+void expect_batch_bitwise_identical(const FuzzyController& c,
+                                    std::uint64_t seed,
+                                    std::size_t max_rows = 33) {
+  std::mt19937_64 rng(seed);
+  InferenceScratch batch_scratch, scalar_scratch;
+  for (std::size_t rows = 1; rows <= max_rows; ++rows) {
+    const auto data = fuzz_rows(rng, c, rows);
+    std::vector<double> out(rows, -999.0);
+    c.evaluate_batch_with(batch_scratch, data, out);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double scalar = c.evaluate_with(
+          scalar_scratch,
+          std::span<const double>(data.data() + r * c.input_count(),
+                                  c.input_count()));
+      EXPECT_EQ(out[r], scalar) << c.name() << " rows=" << rows
+                                << " row=" << r;
+    }
+  }
+}
+
+TEST(BatchInference, Flc1MatchesScalarBitwise) {
+  const auto flc1 = cac::make_flc1();
+  expect_batch_bitwise_identical(*flc1, 101);
+}
+
+TEST(BatchInference, Flc2MatchesScalarBitwise) {
+  const auto flc2 = cac::make_flc2();
+  expect_batch_bitwise_identical(*flc2, 202);
+}
+
+TEST(BatchInference, SimdOffTwinIsBitIdenticalToSimdOn) {
+  // Two controllers differing only in options.simd must produce the same
+  // bits for the same batch.  On a build/CPU without SIMD support both run
+  // the generic kernels and the check is trivially true; with it, this is
+  // the intrinsics-vs-portable equivalence.
+  InferenceOptions on, off;
+  on.simd = true;
+  off.simd = false;
+  const auto flc_on = cac::make_flc1({}, on);
+  const auto flc_off = cac::make_flc1({}, off);
+  std::mt19937_64 rng(303);
+  InferenceScratch s_on, s_off;
+  for (std::size_t rows : {1u, 5u, 8u, 16u, 31u}) {
+    const auto data = fuzz_rows(rng, *flc_on, rows);
+    std::vector<double> out_on(rows), out_off(rows);
+    flc_on->evaluate_batch_with(s_on, data, out_on);
+    flc_off->evaluate_batch_with(s_off, data, out_off);
+    for (std::size_t r = 0; r < rows; ++r)
+      EXPECT_EQ(out_on[r], out_off[r]) << "rows=" << rows << " row=" << r;
+  }
+  EXPECT_FALSE(flc_off->inference_options().simd);
+}
+
+TEST(BatchInference, NonDefaultNormsMatchScalarBitwise) {
+  // Product t-norm, every s-norm, product implication, rule weights and
+  // wildcards — the kernel branches the paper configuration never touches.
+  for (auto s_norm : {SNorm::kMaximum, SNorm::kProbabilisticSum,
+                      SNorm::kBoundedSum}) {
+    InferenceOptions opts;
+    opts.t_norm = TNorm::kProduct;
+    opts.s_norm = s_norm;
+    opts.implication = Implication::kProduct;
+    auto c = ControllerBuilder("norms")
+                 .input(VariableBuilder("x", 0.0, 10.0)
+                            .triangular("lo", 0.0, 5.0, 5.0)
+                            .triangular("mid", 5.0, 5.0, 5.0)
+                            .right_shoulder("hi", 10.0, 5.0)
+                            .build())
+                 .input(VariableBuilder("y", -1.0, 1.0)
+                            .left_shoulder("neg", -0.5, 0.5)
+                            .triangular("zero", 0.0, 0.5, 0.5)
+                            .right_shoulder("pos", 0.5, 0.5)
+                            .build())
+                 .output(VariableBuilder("z", 0.0, 1.0)
+                             .uniform_partition("Z", 5)
+                             .build())
+                 .rule({"lo", "neg"}, "Z1", 0.7)
+                 .rule({"lo", "zero"}, "Z2")
+                 .rule({"lo", "pos"}, "Z3", 0.4)
+                 .rule({"mid", "*"}, "Z3")
+                 .rule({"hi", "neg"}, "Z2", 1.0)
+                 .rule({"hi", "zero"}, "Z4", 0.9)
+                 .rule({"hi", "pos"}, "Z5")
+                 .rule({"*", "pos"}, "Z4", 0.2)
+                 .build();
+    expect_batch_bitwise_identical(*c, 404 + static_cast<int>(s_norm), 17);
+  }
+}
+
+TEST(BatchInference, DegenerateTermsTakeTheScalarFallbackBitwise) {
+  // Singleton and zero-width-edge terms are flagged fast=false and graded
+  // per lane through MembershipFunction::grade() itself — identical bits by
+  // construction, but the routing must actually happen (a branchless kernel
+  // would divide by zero and yield NaN grades).
+  auto c = ControllerBuilder("degenerate")
+               .input(VariableBuilder("x", 0.0, 1.0)
+                          .term("spike", MembershipFunction::singleton(0.5))
+                          .term("step", MembershipFunction::from_breakpoints(
+                                            0.5, 0.5, 1.0, 1.0))
+                          .triangular("tri", 0.5, 0.5, 0.5)
+                          .build())
+               .output(VariableBuilder("z", 0.0, 1.0)
+                           .uniform_partition("Z", 3)
+                           .build())
+               .rule({"spike"}, "Z3")
+               .rule({"step"}, "Z2")
+               .rule({"tri"}, "Z1")
+               .build();
+  // Hit the singleton exactly (grade 1 only at x == 0.5) and around it.
+  InferenceScratch batch_scratch, scalar_scratch;
+  const std::vector<double> data = {0.5, 0.25, 0.75, 0.4999999, 1.0,
+                                    0.0, std::numeric_limits<double>::quiet_NaN(),
+                                    0.5000001, 0.5};
+  std::vector<double> out(data.size());
+  c->evaluate_batch_with(batch_scratch, data, out);
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    EXPECT_EQ(out[r], c->evaluate_with(
+                          scalar_scratch,
+                          std::span<const double>(data.data() + r, 1)))
+        << "row=" << r;
+  }
+}
+
+TEST(BatchInference, EmptyBatchIsANoOp) {
+  const auto flc2 = cac::make_flc2();
+  InferenceScratch scratch;
+  flc2->evaluate_batch_with(scratch, {}, {});  // must not assert or touch out
+}
+
+}  // namespace
+}  // namespace facsp::fuzzy

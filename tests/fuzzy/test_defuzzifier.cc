@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <random>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
+#include "common/math_util.h"
 #include "fuzzy/builder.h"
 
 namespace facsp::fuzzy {
@@ -216,6 +220,9 @@ TEST_F(DefuzzGoldenParity, GridPathMatchesNaiveReference) {
       for (auto agg : kSNorms) {
         for (auto impl : kImplications) {
           Defuzzifier fast(method, res, agg);
+          // Pin the grid path: this suite checks the sampled tables, not the
+          // closed-form centroid (covered by DefuzzAnalyticCentroid below).
+          fast.set_analytic_centroid(false);
           fast.prime(output);
           ASSERT_TRUE(fast.primed_for(output));
           for (const auto& acts : activation_sets) {
@@ -238,7 +245,8 @@ TEST_F(DefuzzGoldenParity, UnprimedFallbackMatchesNaiveReference) {
   for (auto method : kMethods) {
     for (auto agg : kSNorms) {
       for (auto impl : kImplications) {
-        const Defuzzifier naive(method, 101, agg);  // never primed
+        Defuzzifier naive(method, 101, agg);  // never primed
+        naive.set_analytic_centroid(false);   // grid parity, as above
         ASSERT_FALSE(naive.primed_for(output));
         for (const auto& acts : activation_sets) {
           const double expect =
@@ -286,6 +294,323 @@ TEST_F(DefuzzGoldenParity, PrimeIsKeyedByVariableIdentity) {
                                   SNorm::kMaximum, other, acts,
                                   Implication::kMinimum),
               1e-12);
+}
+
+// --- analytic centroid ------------------------------------------------------
+//
+// The closed-form alpha-cut centroid is checked against an *algorithmically
+// independent* exact reference: recursive adaptive subdivision that probes
+// each interval for linearity (midpoint + golden-ratio point against the
+// chord) and integrates area/moment with the trapezoid rule only where the
+// aggregated membership is verified linear.  Both implications make the
+// membership piecewise linear, so the reference is exact up to rounding and
+// the two must agree to 1e-9 — far below anything a fixed grid can certify
+// (an 8192-point trapezoid grid has O(h^2) ~ 1e-7 kink error; the grid
+// comparison below therefore uses a justified looser tolerance).
+
+struct ExactIntegral {
+  double area = 0.0;
+  double moment = 0.0;
+};
+
+template <typename F>
+void adaptive_integrate(const F& f, double x0, double x1, double f0, double f1,
+                        int depth, ExactIntegral& acc) {
+  const double kGolden = 0.3819660112501051;
+  const double xm = 0.5 * (x0 + x1);
+  const double xg = x0 + (x1 - x0) * kGolden;
+  const double fm = f(xm);
+  const double fg = f(xg);
+  const double lm = f0 + (f1 - f0) * 0.5;
+  const double lg = f0 + (f1 - f0) * kGolden;
+  if (depth <= 0 ||
+      (std::abs(fm - lm) <= 1e-13 && std::abs(fg - lg) <= 1e-13)) {
+    const double h = x1 - x0;
+    acc.area += 0.5 * h * (f0 + f1);
+    // Exact first moment of the linear interpolant on [x0, x1].
+    acc.moment += h * (f0 * (2.0 * x0 + x1) + f1 * (x0 + 2.0 * x1)) / 6.0;
+    return;
+  }
+  adaptive_integrate(f, x0, xm, f0, fm, depth - 1, acc);
+  adaptive_integrate(f, xm, x1, fm, f1, depth - 1, acc);
+}
+
+/// Exact area/moment of the aggregated membership.  The integration is
+/// seeded with every *known* kink candidate — term breakpoints and (for the
+/// clipping implication) the alpha-cut corners — because probing alone can
+/// miss a feature that lies strictly between samples (e.g. a narrow term
+/// whose support sits inside an interval that reads 0 at every probe).
+/// Between seeded points each term's implicated membership is affine, so
+/// the aggregate is a max of affines (convex): any remaining kink pulls the
+/// midpoint strictly below the chord and the adaptive recursion is
+/// guaranteed to find it.
+ExactIntegral exact_integral(const LinguisticVariable& output,
+                             std::span<const double> acts, Implication impl) {
+  const double lo = output.universe_lo();
+  const double hi = output.universe_hi();
+  auto mu = [&](double y) {
+    return reference_grade(output, acts, impl, SNorm::kMaximum, y);
+  };
+  std::vector<double> cuts = {lo, hi};
+  for (std::size_t k = 0; k < output.term_count(); ++k) {
+    const MembershipFunction& mf = output.term(k).mf;
+    for (double y : {mf.a(), mf.b(), mf.c(), mf.d()})
+      if (y > lo && y < hi) cuts.push_back(y);
+    if (acts[k] > 0.0 && acts[k] < 1.0 && impl == Implication::kMinimum &&
+        !mf.is_singleton()) {
+      for (double y : {mf.alpha_cut_lo(acts[k]), mf.alpha_cut_hi(acts[k])})
+        if (std::isfinite(y) && y > lo && y < hi) cuts.push_back(y);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  ExactIntegral acc;
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    if (!(cuts[i] > cuts[i - 1])) continue;
+    adaptive_integrate(mu, cuts[i - 1], cuts[i], mu(cuts[i - 1]), mu(cuts[i]),
+                       50, acc);
+  }
+  return acc;
+}
+
+/// Random ordered adjacent-overlap partition of [-1, 1]: term k's support is
+/// [p[k-1], p[k+1]] (adjacent pairs overlap, support ends may touch at the
+/// shared anchor), plateaus random inside, triangles half the time, shoulder
+/// ends half the time — the layout family the analytic path claims.
+LinguisticVariable random_partition_variable(std::mt19937_64& rng,
+                                             bool shoulder_ends) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const int terms = 3 + static_cast<int>(rng() % 6);  // 3..8
+  const double lo = -1.0, hi = 1.0;
+  // Strictly increasing anchors p[0..terms] with a minimum gap so edge
+  // slopes stay bounded.
+  std::vector<double> p(terms + 1);
+  for (;;) {
+    p.front() = lo;
+    p.back() = hi;
+    for (int i = 1; i < terms; ++i) p[i] = lo + (hi - lo) * uni(rng);
+    std::sort(p.begin(), p.end());
+    bool ok = true;
+    for (int i = 0; i < terms; ++i) ok = ok && p[i + 1] - p[i] >= 0.04;
+    if (ok) break;
+  }
+  VariableBuilder vb("rand", lo, hi);
+  for (int k = 0; k < terms; ++k) {
+    const double a = p[k == 0 ? 0 : k - 1];
+    const double d = p[std::min(k + 1, terms)];
+    // Plateau strictly inside the support, edges at least 0.01 wide.
+    double b = a + (d - a) * (0.1 + 0.35 * uni(rng));
+    double c = b + (d - b - 0.01) * uni(rng);
+    if (rng() % 2 == 0) c = b;  // triangle
+    if (k == 0 && shoulder_ends) {
+      vb.term("t0", MembershipFunction::from_breakpoints(
+                        -kInf, -kInf, c, d));
+    } else if (k == terms - 1 && shoulder_ends) {
+      vb.term("t" + std::to_string(k),
+              MembershipFunction::from_breakpoints(a, b, kInf, kInf));
+    } else {
+      vb.term("t" + std::to_string(k),
+              MembershipFunction::from_breakpoints(a, b, c, d));
+    }
+  }
+  return vb.build();
+}
+
+std::vector<double> random_activations(std::mt19937_64& rng,
+                                       std::size_t terms) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::vector<double> acts(terms, 0.0);
+  for (auto& a : acts) {
+    const auto pick = rng() % 5;
+    if (pick == 0) continue;              // inactive
+    if (pick == 1) a = 1.0;               // full clip
+    else if (pick == 2) a = 1.3 * uni(rng);  // raw-API abuse: alpha > 1
+    else a = uni(rng);
+  }
+  return acts;
+}
+
+TEST(DefuzzAnalyticCentroid, MatchesAdaptiveExactReference) {
+  std::mt19937_64 rng(20260808);
+  std::vector<double> mu_scratch;
+  int checked = 0;
+  for (int v = 0; v < 120; ++v) {
+    const LinguisticVariable output =
+        random_partition_variable(rng, /*shoulder_ends=*/v % 2 == 0);
+    for (auto impl : {Implication::kMinimum, Implication::kProduct}) {
+      Defuzzifier d(DefuzzMethod::kCentroid, 64, SNorm::kMaximum);
+      ASSERT_TRUE(d.analytic_applicable(output, impl));
+      if (v % 3 == 0) d.prime(output);  // both primed and unprimed dispatch
+      for (int t = 0; t < 4; ++t) {
+        const auto acts = random_activations(rng, output.term_count());
+        // Skip near-empty sets: centroid = moment/area is ill-conditioned
+        // when the area is a sliver (both sides would need looser bounds).
+        const ExactIntegral ref = exact_integral(output, acts, impl);
+        if (ref.area < 1e-6) continue;
+        ++checked;
+        EXPECT_NEAR(d.defuzzify(acts, impl, output, mu_scratch),
+                    ref.moment / ref.area, 1e-9)
+            << "variable " << v << " trial " << t
+            << " impl=" << static_cast<int>(impl);
+      }
+    }
+  }
+  EXPECT_GT(checked, 500);  // the skip guard must not hollow out the test
+}
+
+TEST(DefuzzAnalyticCentroid, HighResGridAgreesWithinItsErrorBound) {
+  // The 8192-point trapezoid grid is exact on cells where the membership is
+  // linear; each kink contributes O(h^2 * slope) area error.  With edge
+  // widths >= 0.01 (slope <= 100), h ~ 2.4e-4 and <= ~34 kinks that bounds
+  // the centroid shift well under 1e-4 for non-sliver sets — the analytic
+  // path must sit inside it.  (1e-9 agreement against a fixed grid is not
+  // achievable; the exact-reference test above carries that bound.)
+  std::mt19937_64 rng(99);
+  std::vector<double> mu_scratch;
+  for (int v = 0; v < 25; ++v) {
+    const LinguisticVariable output =
+        random_partition_variable(rng, v % 2 == 0);
+    for (auto impl : {Implication::kMinimum, Implication::kProduct}) {
+      Defuzzifier analytic(DefuzzMethod::kCentroid, 64, SNorm::kMaximum);
+      Defuzzifier grid(DefuzzMethod::kCentroid, 8192, SNorm::kMaximum);
+      grid.set_analytic_centroid(false);
+      grid.prime(output);
+      for (int t = 0; t < 3; ++t) {
+        const auto acts = random_activations(rng, output.term_count());
+        const double g = grid.defuzzify(acts, impl, output, mu_scratch);
+        const double a = analytic.defuzzify(acts, impl, output, mu_scratch);
+        if (std::none_of(acts.begin(), acts.end(),
+                         [](double x) { return x > 0.05; }))
+          continue;
+        EXPECT_NEAR(a, g, 1e-4) << "variable " << v << " trial " << t;
+      }
+    }
+  }
+}
+
+TEST(DefuzzAnalyticCentroid, UnsupportedCombosFallBackToGridBitwise) {
+  // Every (method, s-norm, implication) outside the supported set must take
+  // the grid path even with analytic centroids enabled: bitwise-identical
+  // results to a twin with the analytic path disabled.
+  std::mt19937_64 rng(7);
+  const LinguisticVariable output = random_partition_variable(rng, true);
+  std::vector<double> mu1, mu2;
+  for (auto method :
+       {DefuzzMethod::kCentroid, DefuzzMethod::kBisector,
+        DefuzzMethod::kMeanOfMaximum, DefuzzMethod::kWeightedAverage}) {
+    for (auto agg : {SNorm::kMaximum, SNorm::kProbabilisticSum,
+                     SNorm::kBoundedSum}) {
+      for (auto impl : {Implication::kMinimum, Implication::kProduct}) {
+        const bool supported =
+            Defuzzifier::analytic_supported(method, agg, impl);
+        EXPECT_EQ(supported,
+                  method == DefuzzMethod::kCentroid && agg == SNorm::kMaximum)
+            << to_string(method);
+        if (supported) continue;
+        Defuzzifier on(method, 101, agg);
+        Defuzzifier off(method, 101, agg);
+        off.set_analytic_centroid(false);
+        EXPECT_FALSE(on.analytic_applicable(output, impl));
+        on.prime(output);
+        off.prime(output);
+        for (int t = 0; t < 3; ++t) {
+          const auto acts = random_activations(rng, output.term_count());
+          EXPECT_EQ(on.defuzzify(acts, impl, output, mu1),
+                    off.defuzzify(acts, impl, output, mu2))
+              << to_string(method) << " agg=" << static_cast<int>(agg);
+        }
+      }
+    }
+  }
+}
+
+TEST(DefuzzAnalyticCentroid, NonPartitionLayoutFallsBackToGridBitwise) {
+  // A wide term overlapping a non-adjacent one breaks the adjacent-overlap
+  // precondition; the dispatch must detect it (primed and unprimed) and use
+  // the grid, bitwise-identical to an analytic-off twin.
+  const LinguisticVariable output =
+      VariableBuilder("bad", -1.0, 1.0)
+          .term("wide", MembershipFunction::from_breakpoints(-1.0, -0.2, 0.2,
+                                                             1.0))
+          .term("mid", MembershipFunction::from_breakpoints(-0.5, 0.0, 0.0,
+                                                            0.5))
+          .term("hi", MembershipFunction::from_breakpoints(-0.4, 0.8, 0.9,
+                                                           1.0))
+          .build();
+  Defuzzifier on(DefuzzMethod::kCentroid, 101);
+  EXPECT_FALSE(on.analytic_applicable(output, Implication::kMinimum));
+  Defuzzifier off(DefuzzMethod::kCentroid, 101);
+  off.set_analytic_centroid(false);
+  std::vector<double> mu1, mu2;
+  const std::vector<double> acts = {0.4, 0.9, 0.6};
+  EXPECT_EQ(on.defuzzify(acts, Implication::kMinimum, output, mu1),
+            off.defuzzify(acts, Implication::kMinimum, output, mu2));
+  on.prime(output);
+  off.prime(output);
+  EXPECT_EQ(on.defuzzify(acts, Implication::kMinimum, output, mu1),
+            off.defuzzify(acts, Implication::kMinimum, output, mu2));
+}
+
+TEST(DefuzzAnalyticCentroid, ApplicableToThePaperVariables) {
+  // Both paper output variables (Cv's 9-term uniform partition, A/R's
+  // 5-term shouldered partition) must ride the analytic path.
+  const LinguisticVariable cv =
+      VariableBuilder("cv", 0.0, 1.0).uniform_partition("Cv", 9).build();
+  const LinguisticVariable ar = VariableBuilder("ar", -1.0, 1.0)
+                                    .left_shoulder("R", -0.6, 0.3)
+                                    .triangular("WR", -0.3, 0.3, 0.3)
+                                    .triangular("NRNA", 0.0, 0.3, 0.3)
+                                    .triangular("WA", 0.3, 0.3, 0.3)
+                                    .right_shoulder("A", 0.6, 0.3)
+                                    .build();
+  const Defuzzifier d(DefuzzMethod::kCentroid, 256);
+  EXPECT_TRUE(d.analytic_applicable(cv, Implication::kMinimum));
+  EXPECT_TRUE(d.analytic_applicable(ar, Implication::kMinimum));
+  EXPECT_TRUE(d.analytic_applicable(ar, Implication::kProduct));
+}
+
+TEST(DefuzzResolutionTuner, MeetsRequestedBoundOnPaperOutput) {
+  const LinguisticVariable ar = VariableBuilder("ar", -1.0, 1.0)
+                                    .left_shoulder("R", -0.6, 0.3)
+                                    .triangular("WR", -0.3, 0.3, 0.3)
+                                    .triangular("NRNA", 0.0, 0.3, 0.3)
+                                    .triangular("WA", 0.3, 0.3, 0.3)
+                                    .right_shoulder("A", 0.6, 0.3)
+                                    .build();
+  const ResolutionTuning coarse = tune_centroid_resolution(
+      ar, Implication::kMinimum, SNorm::kMaximum, 1e-2);
+  EXPECT_TRUE(coarse.met_bound);
+  EXPECT_LE(coarse.max_abs_error, 1e-2);
+  EXPECT_GE(coarse.resolution, 8);
+  const ResolutionTuning fine = tune_centroid_resolution(
+      ar, Implication::kMinimum, SNorm::kMaximum, 1e-5);
+  EXPECT_TRUE(fine.met_bound);
+  EXPECT_LE(fine.max_abs_error, 1e-5);
+  // A tighter bound can never be met by a coarser grid.
+  EXPECT_GE(fine.resolution, coarse.resolution);
+}
+
+TEST(DefuzzResolutionTuner, ReportsUnmetBoundAndRejectsUnsupported) {
+  const LinguisticVariable ar = VariableBuilder("ar", -1.0, 1.0)
+                                    .left_shoulder("R", -0.6, 0.3)
+                                    .triangular("WR", -0.3, 0.3, 0.3)
+                                    .triangular("NRNA", 0.0, 0.3, 0.3)
+                                    .triangular("WA", 0.3, 0.3, 0.3)
+                                    .right_shoulder("A", 0.6, 0.3)
+                                    .build();
+  // An absurd bound cannot be met by any grid up to the cap; the result
+  // must say so rather than lie.
+  const ResolutionTuning t = tune_centroid_resolution(
+      ar, Implication::kMinimum, SNorm::kMaximum, 1e-14, 8, 64);
+  EXPECT_FALSE(t.met_bound);
+  EXPECT_EQ(t.resolution, 64);
+  EXPECT_GT(t.max_abs_error, 1e-14);
+  // Without an analytic reference there is nothing to tune against.
+  EXPECT_THROW(tune_centroid_resolution(ar, Implication::kMinimum,
+                                        SNorm::kProbabilisticSum, 1e-3),
+               facsp::ConfigError);
+  EXPECT_THROW(tune_centroid_resolution(ar, Implication::kMinimum,
+                                        SNorm::kMaximum, 0.0),
+               facsp::ConfigError);
 }
 
 TEST(DefuzzMethodNames, RoundTrip) {

@@ -92,6 +92,27 @@ TEST(ZeroAlloc, SteadyStateEvaluateBatchDoesNotAllocate) {
   EXPECT_EQ(allocations(), before);
 }
 
+TEST(ZeroAlloc, SteadyStateSoaBatchScratchDoesNotAllocate) {
+  // The explicit-scratch batched path: the structure-of-arrays lane buffers
+  // (lane_inputs/lane_grades/lane_activations) must reach steady state on
+  // the first batch and never touch the heap again — including for partial
+  // tail blocks (rows not a multiple of kLanes).
+  const auto flc2 = cac::make_flc2();
+  InferenceScratch scratch;
+  std::vector<double> inputs(37 * 3);
+  std::vector<double> out(37);
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    inputs[r * 3 + 0] = static_cast<double>(r % 10) * 0.1;
+    inputs[r * 3 + 1] = static_cast<double>(r % 10);
+    inputs[r * 3 + 2] = static_cast<double>(r % 40);
+  }
+  flc2->evaluate_batch_with(scratch, inputs, out);  // warm-up
+
+  const std::size_t before = allocations();
+  for (int i = 0; i < 100; ++i) flc2->evaluate_batch_with(scratch, inputs, out);
+  EXPECT_EQ(allocations(), before) << "SoA batch scratch allocated when warm";
+}
+
 TEST(ZeroAlloc, SteadyStateAdmissionDecisionDoesNotAllocate) {
   cac::FacsPPolicy policy;
   cellular::BaseStation bs(0, {0, 0}, {0.0, 0.0}, 40.0);

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fail when a benchmark regresses past the recorded baseline.
+
+Compares a google-benchmark JSON report (``--benchmark_format=json``)
+against the ``current_ns`` values recorded in bench/BENCH_inference.json.
+A guarded benchmark fails the check when its fresh per-operation time
+exceeds ``factor`` x the recorded baseline (default 1.25, i.e. a 25%
+regression budget that absorbs container noise but catches real
+regressions such as an accidentally disabled fast path).
+
+For batch benchmarks that report ``items_per_second`` the per-item time
+is compared, matching how the baseline file records them.
+
+Usage:
+  bench/bench_inference_micro --benchmark_format=json > /tmp/bench.json
+  tools/check_bench_regression.py /tmp/bench.json bench/BENCH_inference.json \
+      --bench BM_FacsPDecide [--factor 1.25]
+
+Exit status: 0 when every guarded benchmark is within budget, 1 on
+regression or when a guarded benchmark is missing from either file.
+"""
+
+import argparse
+import json
+import sys
+
+
+def per_op_ns(entry):
+    """Per-operation (per-item for batch benches) time in nanoseconds."""
+    if "items_per_second" in entry:
+        return 1e9 / entry["items_per_second"]
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[entry["time_unit"]]
+    return entry["real_time"] * scale
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="google-benchmark JSON report")
+    parser.add_argument("baseline", help="baseline file (BENCH_inference.json)")
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        help="benchmark name to guard (repeatable; default: BM_FacsPDecide)",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=1.25,
+        help="regression budget multiplier over current_ns (default 1.25)",
+    )
+    args = parser.parse_args()
+    guarded = args.bench or ["BM_FacsPDecide"]
+
+    with open(args.report) as f:
+        report = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)["benchmarks"]
+
+    measured = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        measured[entry["name"]] = per_op_ns(entry)
+
+    failed = False
+    for name in guarded:
+        if name not in baseline or baseline[name].get("current_ns") is None:
+            print(f"FAIL {name}: no current_ns baseline recorded")
+            failed = True
+            continue
+        if name not in measured:
+            print(f"FAIL {name}: missing from benchmark report")
+            failed = True
+            continue
+        limit = baseline[name]["current_ns"] * args.factor
+        got = measured[name]
+        verdict = "FAIL" if got > limit else "ok"
+        print(
+            f"{verdict:4s} {name}: {got:.1f} ns vs baseline "
+            f"{baseline[name]['current_ns']} ns (limit {limit:.1f})"
+        )
+        failed = failed or got > limit
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
