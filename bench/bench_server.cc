@@ -1,0 +1,134 @@
+// Decision-server benchmarks (google-benchmark) plus a steady-state
+// allocation audit.
+//
+// BM_ServerDecideLoop measures end-to-end serving throughput: the live
+// workload generator feeding the batched decide_batch admission path,
+// telemetry accumulation included — the number that must stay above the
+// 1M decisions/s line on the 1-core CI container.  BM_ServerReplayLoop
+// is the same loop fed from a pre-recorded trace (no generation cost).
+//
+// The allocation audit replaces global operator new with a counting
+// version (same idiom as tests/fuzzy/test_zero_alloc.cc, and the reason
+// this lives in its own binary) and runs the server twice on a saturated
+// no-churn scenario — call holding times far longer than the run, so the
+// cell fills in the first second and every later second only blocks.
+// Setup and warm-up allocate identically in both runs; the runs differ
+// only in how many steady-state seconds they serve.  Equal allocation
+// counts therefore prove those extra seconds allocated nothing.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "serve/decision_loop.h"
+#include "workload/catalog.h"
+
+namespace {
+
+using namespace facsp;
+
+serve::ServerConfig live_config() {
+  serve::ServerConfig config;
+  config.scenario = workload::catalog_scenario("paper-grid");
+  config.scenario.seed = 42;
+  config.duration_s = 2;
+  config.requests_per_s = 50000;
+  config.shards = 4;
+  config.threads = 1;
+  return config;
+}
+
+void BM_ServerDecideLoop(benchmark::State& state) {
+  const serve::ServerConfig config = live_config();
+  std::int64_t decisions = 0;
+  for (auto _ : state) {
+    serve::DecisionServer server(config);
+    const serve::ServerResult result = server.run();
+    decisions += result.total_decisions;
+    benchmark::DoNotOptimize(result.total_admitted);
+  }
+  state.SetItemsProcessed(decisions);
+}
+BENCHMARK(BM_ServerDecideLoop)->Unit(benchmark::kMillisecond);
+
+void BM_ServerReplayLoop(benchmark::State& state) {
+  const serve::ServerConfig config = live_config();
+  const std::vector<serve::StampedRequest> trace = serve::record_trace(config);
+  std::int64_t decisions = 0;
+  for (auto _ : state) {
+    serve::DecisionServer server(config, trace);
+    const serve::ServerResult result = server.run();
+    decisions += result.total_decisions;
+    benchmark::DoNotOptimize(result.total_admitted);
+  }
+  state.SetItemsProcessed(decisions);
+}
+BENCHMARK(BM_ServerReplayLoop)->Unit(benchmark::kMillisecond);
+
+std::size_t allocations_for_duration(std::int64_t duration_s) {
+  serve::ServerConfig config = live_config();
+  // No churn: holding times of ~115 days against a <=16 s run mean no call
+  // ever releases, so after the first second fills the 40 BU cell every
+  // later second is pure blocked-decision steady state.
+  config.scenario.traffic.mean_holding_s = 1e7;
+  config.requests_per_s = 20000;
+  config.shards = 1;
+  config.duration_s = duration_s;
+  serve::DecisionServer server(config);
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const serve::ServerResult result = server.run();
+  benchmark::DoNotOptimize(result.total_decisions);
+  return g_alloc_count.load(std::memory_order_relaxed) - before;
+}
+
+// Returns 0 when the extra steady-state seconds allocated nothing.
+int steady_state_allocation_audit() {
+  const std::size_t short_run = allocations_for_duration(8);
+  const std::size_t long_run = allocations_for_duration(16);
+  if (long_run != short_run) {
+    std::fprintf(stderr,
+                 "steady-state allocation audit FAILED: 8 s run made %zu "
+                 "allocations, 16 s run made %zu — the extra seconds "
+                 "allocated %zu times\n",
+                 short_run, long_run, long_run - short_run);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "steady-state allocation audit ok: 8 s and 16 s runs both "
+               "made %zu allocations (steady seconds allocate nothing)\n",
+               short_run);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (steady_state_allocation_audit() != 0) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Decision server: a long-lived admission-serving loop over the FACS-P
+// policies — live workload synthesis on a simulated clock, or replay of a
+// trace recorded with `scenario_runner trace record`.
+//
+//   $ ./decision_server --scenario paper-grid --duration 60 --seed 7
+//   $ ./decision_server --replay storm.trace.csv --threads 4 --out storm
+//
+// Writes three files per run (prefix via --out, default "server"):
+//   <prefix>_telemetry.csv  per-second counters + CBP/CDP.  Deterministic:
+//                           byte-identical for a given (scenario, seed,
+//                           shards) at ANY thread count.
+//   <prefix>_latency.csv    per-second decision-latency p50/p95/p99 (wall
+//                           clock; machine-dependent, never diff in CI).
+//   <prefix>_summary.json   totals, throughput, overall percentiles.
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/config_io.h"
+#include "core/experiment.h"
+#include "serve/decision_loop.h"
+#include "workload/catalog.h"
+
+using namespace facsp;
+
+namespace {
+
+int usage(const char* argv0, FILE* dst) {
+  std::fprintf(
+      dst,
+      "usage: %s [options]\n"
+      "\n"
+      "Request source (default: live synthesis from the scenario):\n"
+      "  --scenario <name>        catalog scenario (default paper-grid)\n"
+      "  --config <file>          key=value scenario config file\n"
+      "  --replay <trace.csv>     replay a recorded trace instead of\n"
+      "                           generating live (see 'scenario_runner\n"
+      "                           trace record')\n"
+      "\n"
+      "Serving parameters:\n"
+      "  --policy <name>          admission policy (default facs-p)\n"
+      "  --duration <s>           simulated seconds to serve (default 60;\n"
+      "                           replay derives it from the trace)\n"
+      "  --rate <req/s>           live arrival rate, all shards (default 2000)\n"
+      "  --handoff-fraction <f>   live handoff share in [0,1] (default 0.25)\n"
+      "  --shards <int>           independent cells (default 4; part of the\n"
+      "                           result, unlike --threads)\n"
+      "  --threads <int>          workers draining shards, 0 = all cores\n"
+      "                           (default 1; telemetry is byte-identical\n"
+      "                           for every value)\n"
+      "  --batch-window <s>       admission batching window (default 0.05)\n"
+      "  --batch-max <int>        max requests per batch (default 256)\n"
+      "  --seed <u64>             override the scenario seed\n"
+      "\n"
+      "Output:\n"
+      "  --out <prefix>           file prefix (default 'server')\n"
+      "  --table                  also print the per-second table\n"
+      "  --help                   this message\n",
+      argv0);
+  return dst == stderr ? 2 : 0;
+}
+
+int parse_int(const std::string& v, const char* what) {
+  try {
+    std::size_t used = 0;
+    const int x = std::stoi(v, &used);
+    if (used != v.size()) throw std::invalid_argument("trailing characters");
+    return x;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("bad ") + what + " '" + v + "'");
+  }
+}
+
+double parse_double(const std::string& v, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double x = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument("trailing characters");
+    return x;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("bad ") + what + " '" + v + "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& v, const char* what) {
+  try {
+    if (v.empty() || v[0] == '-') throw std::invalid_argument("negative");
+    std::size_t used = 0;
+    const std::uint64_t x = std::stoull(v, &used);
+    if (used != v.size()) throw std::invalid_argument("trailing characters");
+    return x;
+  } catch (const std::exception&) {
+    throw ConfigError(std::string("bad ") + what + " '" + v + "'");
+  }
+}
+
+int run(int argc, char** argv) {
+  serve::ServerConfig config;
+  config.scenario = workload::catalog_scenario("paper-grid");
+  std::optional<std::string> replay_path;
+  std::optional<std::uint64_t> seed_override;
+  std::string out_prefix = "server";
+  bool print_table = false;
+  bool duration_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* what) -> std::string {
+      if (i + 1 >= argc)
+        throw ConfigError(std::string(what) + " requires a value");
+      return argv[++i];
+    };
+    if (arg == "--help") return usage(argv[0], stdout);
+    if (arg == "--scenario")
+      config.scenario = workload::catalog_scenario(value("--scenario"));
+    else if (arg == "--config")
+      config.scenario = core::load_scenario_file(value("--config"));
+    else if (arg == "--replay")
+      replay_path = value("--replay");
+    else if (arg == "--policy")
+      config.policy = value("--policy");
+    else if (arg == "--duration") {
+      config.duration_s = parse_int(value("--duration"), "--duration");
+      duration_given = true;
+    } else if (arg == "--rate")
+      config.requests_per_s = parse_int(value("--rate"), "--rate");
+    else if (arg == "--handoff-fraction")
+      config.handoff_fraction =
+          parse_double(value("--handoff-fraction"), "--handoff-fraction");
+    else if (arg == "--shards")
+      config.shards = parse_int(value("--shards"), "--shards");
+    else if (arg == "--threads")
+      config.threads = parse_int(value("--threads"), "--threads");
+    else if (arg == "--batch-window")
+      config.batch_window_s =
+          parse_double(value("--batch-window"), "--batch-window");
+    else if (arg == "--batch-max")
+      config.batch_max = parse_int(value("--batch-max"), "--batch-max");
+    else if (arg == "--seed")
+      seed_override = parse_u64(value("--seed"), "--seed");
+    else if (arg == "--out")
+      out_prefix = value("--out");
+    else if (arg == "--table")
+      print_table = true;
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return usage(argv[0], stderr);
+    }
+  }
+  if (seed_override) config.scenario.seed = *seed_override;
+
+  // Validate the policy name before the (possibly long) trace load.
+  (void)core::policy_factory_by_name(config.policy);
+
+  serve::ServerResult result;
+  if (replay_path) {
+    if (!duration_given) config.duration_s = 0;  // derive from the trace
+    std::vector<serve::StampedRequest> trace =
+        serve::read_trace_file(*replay_path);
+    serve::DecisionServer server(config, std::move(trace));
+    std::printf("replaying %s: %lld s, policy %s, %d shards, %d threads\n",
+                replay_path->c_str(),
+                static_cast<long long>(server.duration_s()),
+                config.policy.c_str(), config.shards, config.threads);
+    result = server.run();
+  } else {
+    serve::DecisionServer server(config);
+    std::printf(
+        "serving live: %lld s at %d req/s, policy %s, %d shards, %d "
+        "threads, seed %llu\n",
+        static_cast<long long>(server.duration_s()), config.requests_per_s,
+        config.policy.c_str(), config.shards, config.threads,
+        static_cast<unsigned long long>(config.scenario.seed));
+    result = server.run();
+  }
+
+  serve::write_telemetry_csv(result, out_prefix + "_telemetry.csv");
+  serve::write_latency_csv(result, out_prefix + "_latency.csv");
+  serve::write_summary_json(config, result, out_prefix + "_summary.json");
+
+  if (print_table) serve::telemetry_figure(result).print_table(std::cout);
+  serve::write_summary_json(config, result, std::cout);
+  std::printf("wrote %s_telemetry.csv, %s_latency.csv, %s_summary.json\n",
+              out_prefix.c_str(), out_prefix.c_str(), out_prefix.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

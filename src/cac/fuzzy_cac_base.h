@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "cac/policy.h"
 #include "fuzzy/controller.h"

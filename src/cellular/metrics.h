@@ -3,6 +3,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <iosfwd>
 
 #include "cellular/connection.h"

@@ -11,6 +11,7 @@
 // workload::MixSchedule (default: the constant configured mix).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <random>
 #include <vector>

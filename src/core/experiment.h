@@ -3,6 +3,7 @@
 // intervals, for any admission policy.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>

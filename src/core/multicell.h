@@ -31,6 +31,7 @@
 // See docs/experiments.md ("Multi-cell sharding") for the full argument.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>

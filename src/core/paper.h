@@ -3,6 +3,8 @@
 // 0..120 km/h, angles -180..180) and the per-figure variations.
 #pragma once
 
+#include <cstdint>
+
 #include "core/experiment.h"
 #include "core/scenario.h"
 

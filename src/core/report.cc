@@ -80,10 +80,12 @@ void write_to_file(const std::string& path, Fn&& write) {
 }  // namespace
 
 std::optional<double> crossover_x(const sim::Series& a, const sim::Series& b) {
+  FACSP_EXPECTS(a.size() > 0);
   FACSP_EXPECTS(b.size() > 0);
   bool was_above = false;
   for (std::size_t i = 0; i < b.size(); ++i) {
     const double x = b.x(i);
+    if (x < a.min_x()) continue;  // a's step function is undefined here
     const double ya = a.y_at(x);
     const double yb = b.y(i);
     if (ya >= yb) {

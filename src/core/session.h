@@ -8,6 +8,7 @@
 // exchanges inter-cell handovers between them at epoch boundaries.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>

@@ -25,6 +25,7 @@
 //    intrinsic kernels round exactly like the scalar code.
 #include <cmath>
 #include <cstdint>
+#include <span>
 
 #include "common/expects.h"
 #include "common/math_util.h"

@@ -1,0 +1,416 @@
+#include "serve/decision_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <span>
+
+#include "cellular/network.h"
+#include "common/error.h"
+#include "common/expects.h"
+#include "core/config_io.h"
+#include "core/experiment.h"
+#include "sim/thread_pool.h"
+
+namespace facsp::serve {
+
+using core::format_double;
+
+void ServerConfig::validate(bool live) const {
+  scenario.validate();
+  if (shards < 1) throw ConfigError("server: shards must be >= 1");
+  if (threads < 0) throw ConfigError("server: threads must be >= 0");
+  if (batch_window_s <= 0.0 || batch_window_s > 1.0)
+    throw ConfigError("server: batch_window_s must be in (0, 1]");
+  if (batch_max < 1) throw ConfigError("server: batch_max must be >= 1");
+  if (handoff_fraction < 0.0 || handoff_fraction > 1.0)
+    throw ConfigError("server: handoff_fraction must be in [0, 1]");
+  if (live) {
+    if (duration_s <= 0) throw ConfigError("server: duration must be > 0");
+    if (requests_per_s < 0)
+      throw ConfigError("server: requests_per_s must be >= 0");
+  }
+}
+
+namespace {
+
+/// Disjoint connection-id range per shard (trace ids pass through as-is).
+constexpr cellular::ConnectionId kShardIdStride = 1ull << 40;
+
+/// This shard's share of the aggregate rate (remainder to low indices).
+int shard_rate(int total, int shard, int shards) {
+  return total / shards + (shard < total % shards ? 1 : 0);
+}
+
+struct Expiry {
+  double at = 0.0;
+  cellular::ConnectionId id = 0;
+  cellular::ServiceClass service = cellular::ServiceClass::kText;
+};
+
+struct ExpiryLater {
+  bool operator()(const Expiry& a, const Expiry& b) const noexcept {
+    return a.at > b.at;
+  }
+};
+
+}  // namespace
+
+struct DecisionServer::Shard {
+  std::unique_ptr<cellular::CellularNetwork> net;
+  sim::RngFactory rng;
+  std::unique_ptr<cac::AdmissionPolicy> policy;
+  std::unique_ptr<RequestStream> stream;
+  RollingWindow window;
+  LatencyHistogram second_hist;  ///< reset at each second's start
+  std::vector<Expiry> expiries;  ///< min-heap on `at`
+  /// Parallel per-second arrival arrays (contiguous so batches are plain
+  /// sub-spans of `arrivals` — no per-batch request copy).
+  std::vector<cac::AdmissionRequest> arrivals;
+  std::vector<double> holdings;
+  std::vector<cac::AdmissionDecision> decisions;
+
+  explicit Shard(std::uint64_t seed) : rng(seed) {}
+
+  void expire_until(double t, bool strict) {
+    cellular::BaseStation& bs = net->center();
+    while (!expiries.empty() &&
+           (strict ? expiries.front().at < t : expiries.front().at <= t)) {
+      std::pop_heap(expiries.begin(), expiries.end(), ExpiryLater{});
+      const Expiry e = expiries.back();
+      expiries.pop_back();
+      bs.release(e.id, e.at);
+      policy->on_released(e.id, e.service, bs);
+    }
+  }
+};
+
+DecisionServer::DecisionServer(const ServerConfig& config) : config_(config) {
+  config_.validate(/*live=*/true);
+  duration_s_ = config_.duration_s;
+  build_shards();
+}
+
+DecisionServer::DecisionServer(const ServerConfig& config,
+                               std::vector<StampedRequest> trace)
+    : config_(config), trace_(std::move(trace)), replay_(true) {
+  config_.validate(/*live=*/false);
+  duration_s_ = config_.duration_s;
+  if (duration_s_ <= 0 && !trace_.empty())
+    duration_s_ =
+        static_cast<std::int64_t>(std::floor(trace_.back().req.now)) + 1;
+  if (duration_s_ <= 0)
+    throw ConfigError("server: empty trace and no duration given");
+  build_shards();
+}
+
+DecisionServer::~DecisionServer() = default;
+
+void DecisionServer::build_shards() {
+  const core::PolicyFactory factory =
+      core::policy_factory_by_name(config_.policy);
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>(sim::hash_seed(
+        config_.scenario.seed, "serve-cell", static_cast<std::uint64_t>(s)));
+    shard->net = std::make_unique<cellular::CellularNetwork>(
+        config_.scenario.rings, config_.scenario.cell_radius_m,
+        config_.scenario.capacity_bu);
+    shard->policy = factory(*shard->net, shard->rng);
+    if (replay_) {
+      shard->stream = std::make_unique<TraceReplayStream>(trace_, s,
+                                                          config_.shards);
+    } else {
+      shard->stream = std::make_unique<WorkloadRequestStream>(
+          config_.scenario.traffic, shard->net->layout(),
+          shard->net->center().position(), config_.scenario.predictor,
+          config_.handoff_fraction,
+          shard_rate(config_.requests_per_s, s, config_.shards), shard->rng,
+          kShardIdStride * static_cast<cellular::ConnectionId>(s + 1) + 1);
+    }
+    // Steady-state reservations: sessions are bounded by the cell capacity
+    // (allocate() only succeeds while bandwidth fits), batches by batch_max,
+    // and the per-second arrival scratch by the shard's rate.
+    shard->expiries.reserve(
+        static_cast<std::size_t>(config_.scenario.capacity_bu) + 16);
+    shard->decisions.reserve(static_cast<std::size_t>(config_.batch_max));
+    shard->window.reserve_windows(static_cast<std::size_t>(duration_s_));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void DecisionServer::run_second(Shard& shard, std::int64_t second) {
+  shard.second_hist.reset();
+  shard.arrivals.clear();
+  shard.holdings.clear();
+  shard.stream->next_second(second, shard.arrivals, shard.holdings);
+  TelemetryRow& row = shard.window.row_for(second);
+  cellular::BaseStation& bs = shard.net->center();
+
+  const double second_end = static_cast<double>(second + 1);
+  std::size_t i = 0;
+  while (i < shard.arrivals.size()) {
+    // The batch opens at the first buffered arrival and closes at the next
+    // batching-window boundary (or at batch_max requests, or at the end of
+    // the second).
+    const double t0 = shard.arrivals[i].now;
+    const double close =
+        std::min(second_end, (std::floor(t0 / config_.batch_window_s) + 1.0) *
+                                 config_.batch_window_s);
+    std::size_t j = i + 1;
+    while (j < shard.arrivals.size() &&
+           j - i < static_cast<std::size_t>(config_.batch_max) &&
+           shard.arrivals[j].now < close)
+      ++j;
+    const std::size_t n = j - i;
+
+    // Free the bandwidth of calls that ended before this batch arrived, so
+    // the policy sees the current load.
+    shard.expire_until(t0, /*strict=*/false);
+
+    shard.decisions.resize(n);
+    const std::span<const cac::AdmissionRequest> batch(
+        shard.arrivals.data() + i, n);
+
+    const auto start = std::chrono::steady_clock::now();
+    shard.policy->decide_batch(batch, bs, shard.decisions);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const std::uint64_t batch_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    shard.second_hist.record_n(std::max<std::uint64_t>(1, batch_ns / n), n);
+
+    row.queue_depth =
+        std::max(row.queue_depth, static_cast<std::int64_t>(n));
+    row.decisions += static_cast<std::int64_t>(n);
+
+    for (std::size_t k = i; k < j; ++k) {
+      const cac::AdmissionRequest& req = shard.arrivals[k];
+      const bool handoff = req.kind == cellular::RequestKind::kHandoff;
+      (handoff ? row.handoff_attempts : row.new_attempts) += 1;
+
+      bool admitted = shard.decisions[k - i].admitted;
+      if (admitted) {
+        // decide_batch scores requests as-if independent; re-check physical
+        // capacity at apply time and demote over-admissions.
+        cellular::Connection conn;
+        conn.id = req.id;
+        conn.service = req.service;
+        conn.bandwidth = req.bandwidth;
+        conn.priority = req.priority;
+        conn.origin = req.kind;
+        admitted = bs.allocate(conn, req.now, /*via_handoff=*/handoff);
+        if (admitted) {
+          shard.policy->on_admitted(req, bs);
+          shard.expiries.push_back(
+              {req.now + shard.holdings[k], req.id, req.service});
+          std::push_heap(shard.expiries.begin(), shard.expiries.end(),
+                         ExpiryLater{});
+        }
+      }
+      if (admitted)
+        ++row.admitted;
+      else
+        (handoff ? row.dropped_handoff : row.blocked_new) += 1;
+    }
+    i = j;
+  }
+
+  // Calls ending in this second's tail (strict <: a release exactly on the
+  // window edge belongs to the next window).
+  shard.expire_until(second_end, /*strict=*/true);
+  row.active_sessions = static_cast<std::int64_t>(shard.expiries.size());
+}
+
+ServerResult DecisionServer::run() {
+  ServerResult result;
+  result.telemetry.reserve(static_cast<std::size_t>(duration_s_));
+  result.latency.reserve(static_cast<std::size_t>(duration_s_));
+
+  const unsigned threads = sim::ThreadPool::resolve_threads(config_.threads);
+  std::unique_ptr<sim::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<sim::ThreadPool>(threads);
+
+  LatencyHistogram second_lat;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::int64_t sec = 0; sec < duration_s_; ++sec) {
+    if (pool) {
+      pool->parallel_for(shards_.size(), [this, sec](std::size_t s) {
+        run_second(*shards_[s], sec);
+      });
+    } else {
+      // Serial path kept free of std::function so steady-state seconds
+      // perform no allocation at threads == 1.
+      for (auto& shard : shards_) run_second(*shard, sec);
+    }
+
+    // Fixed-order merge: shard 0, 1, 2, ... regardless of which thread
+    // finished first — this is what makes telemetry thread-count-invariant.
+    TelemetryRow merged;
+    merged.window = sec;
+    second_lat.reset();
+    for (const auto& shard : shards_) {
+      FACSP_ENSURES(shard->window.rows().back().window == sec);
+      merged.merge(shard->window.rows().back());
+      second_lat.merge(shard->second_hist);
+    }
+    result.total_decisions += merged.decisions;
+    result.total_admitted += merged.admitted;
+    result.telemetry.push_back(merged);
+
+    LatencyRow lat;
+    lat.window = sec;
+    lat.samples = second_lat.count();
+    if (lat.samples > 0) {
+      lat.p50_ns = second_lat.percentile_ns(0.50);
+      lat.p95_ns = second_lat.percentile_ns(0.95);
+      lat.p99_ns = second_lat.percentile_ns(0.99);
+      lat.max_ns = second_lat.max_ns();
+    }
+    result.latency.push_back(lat);
+    result.overall.merge(second_lat);
+  }
+  const auto wall_elapsed = std::chrono::steady_clock::now() - wall_start;
+  result.wall_s =
+      std::chrono::duration<double>(wall_elapsed).count();
+  return result;
+}
+
+std::vector<StampedRequest> record_trace(const ServerConfig& config) {
+  config.validate(/*live=*/true);
+  std::vector<StampedRequest> all;
+  all.reserve(static_cast<std::size_t>(config.requests_per_s) *
+              static_cast<std::size_t>(config.duration_s));
+  for (int s = 0; s < config.shards; ++s) {
+    // Same stream construction as the live server, minus the serving loop.
+    cellular::CellularNetwork net(config.scenario.rings,
+                                  config.scenario.cell_radius_m,
+                                  config.scenario.capacity_bu);
+    sim::RngFactory rng(sim::hash_seed(config.scenario.seed, "serve-cell",
+                                       static_cast<std::uint64_t>(s)));
+    WorkloadRequestStream stream(
+        config.scenario.traffic, net.layout(), net.center().position(),
+        config.scenario.predictor, config.handoff_fraction,
+        shard_rate(config.requests_per_s, s, config.shards), rng,
+        kShardIdStride * static_cast<cellular::ConnectionId>(s + 1) + 1);
+    std::vector<cac::AdmissionRequest> reqs;
+    std::vector<double> holdings;
+    for (std::int64_t sec = 0; sec < config.duration_s; ++sec)
+      stream.next_second(sec, reqs, holdings);
+    for (std::size_t k = 0; k < reqs.size(); ++k)
+      all.push_back({reqs[k], holdings[k]});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const StampedRequest& a, const StampedRequest& b) {
+              return a.req.now != b.req.now ? a.req.now < b.req.now
+                                            : a.req.id < b.req.id;
+            });
+  return all;
+}
+
+// --- rendering -------------------------------------------------------------
+
+namespace {
+
+template <typename Fn>
+void write_file(const std::string& path, Fn&& write) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot open '" + path + "' for writing");
+  write(os);
+  if (!os) throw Error("failed writing '" + path + "'");
+}
+
+}  // namespace
+
+void write_telemetry_csv(const ServerResult& result, std::ostream& os) {
+  os << "second,decisions,admitted,new_attempts,blocked_new,"
+        "handoff_attempts,dropped_handoff,queue_depth,active_sessions,"
+        "cbp_pct,cdp_pct\n";
+  for (const TelemetryRow& r : result.telemetry) {
+    os << r.window << ',' << r.decisions << ',' << r.admitted << ','
+       << r.new_attempts << ',' << r.blocked_new << ',' << r.handoff_attempts
+       << ',' << r.dropped_handoff << ',' << r.queue_depth << ','
+       << r.active_sessions << ',' << format_double(r.cbp_pct()) << ','
+       << format_double(r.cdp_pct()) << '\n';
+  }
+}
+
+void write_telemetry_csv(const ServerResult& result, const std::string& path) {
+  write_file(path, [&](std::ostream& os) { write_telemetry_csv(result, os); });
+}
+
+void write_latency_csv(const ServerResult& result, std::ostream& os) {
+  os << "second,samples,p50_ns,p95_ns,p99_ns,max_ns\n";
+  for (const LatencyRow& r : result.latency) {
+    os << r.window << ',' << r.samples << ',' << r.p50_ns << ',' << r.p95_ns
+       << ',' << r.p99_ns << ',' << r.max_ns << '\n';
+  }
+}
+
+void write_latency_csv(const ServerResult& result, const std::string& path) {
+  write_file(path, [&](std::ostream& os) { write_latency_csv(result, os); });
+}
+
+void write_summary_json(const ServerConfig& config, const ServerResult& result,
+                        std::ostream& os) {
+  std::int64_t blocked = 0, dropped = 0, news = 0, handoffs = 0;
+  for (const TelemetryRow& r : result.telemetry) {
+    blocked += r.blocked_new;
+    dropped += r.dropped_handoff;
+    news += r.new_attempts;
+    handoffs += r.handoff_attempts;
+  }
+  const double cbp =
+      news > 0 ? 100.0 * static_cast<double>(blocked) / news : 0.0;
+  const double cdp =
+      handoffs > 0 ? 100.0 * static_cast<double>(dropped) / handoffs : 0.0;
+  os << "{\n"
+     << "  \"policy\": \"" << config.policy << "\",\n"
+     << "  \"seed\": " << config.scenario.seed << ",\n"
+     << "  \"shards\": " << config.shards << ",\n"
+     << "  \"threads\": " << config.threads << ",\n"
+     << "  \"duration_s\": " << result.telemetry.size() << ",\n"
+     << "  \"total_decisions\": " << result.total_decisions << ",\n"
+     << "  \"total_admitted\": " << result.total_admitted << ",\n"
+     << "  \"cbp_pct\": " << format_double(cbp) << ",\n"
+     << "  \"cdp_pct\": " << format_double(cdp) << ",\n"
+     << "  \"wall_s\": " << format_double(result.wall_s) << ",\n"
+     << "  \"decisions_per_s\": " << format_double(result.decisions_per_s())
+     << ",\n"
+     << "  \"latency_ns\": ";
+  if (result.overall.count() > 0) {
+    os << "{\"p50\": " << result.overall.percentile_ns(0.50)
+       << ", \"p95\": " << result.overall.percentile_ns(0.95)
+       << ", \"p99\": " << result.overall.percentile_ns(0.99)
+       << ", \"max\": " << result.overall.max_ns() << "}\n";
+  } else {
+    os << "null\n";
+  }
+  os << "}\n";
+}
+
+void write_summary_json(const ServerConfig& config, const ServerResult& result,
+                        const std::string& path) {
+  write_file(path, [&](std::ostream& os) {
+    write_summary_json(config, result, os);
+  });
+}
+
+sim::Figure telemetry_figure(const ServerResult& result) {
+  sim::Figure fig("decision server telemetry", "second", "per-second value");
+  sim::Series& decisions = fig.add_series("decisions");
+  sim::Series& cbp = fig.add_series("CBP %");
+  sim::Series& cdp = fig.add_series("CDP %");
+  sim::Series& active = fig.add_series("active");
+  for (const TelemetryRow& r : result.telemetry) {
+    const double x = static_cast<double>(r.window);
+    decisions.add(x, static_cast<double>(r.decisions));
+    cbp.add(x, r.cbp_pct());
+    cdp.add(x, r.cdp_pct());
+    active.add(x, static_cast<double>(r.active_sessions));
+  }
+  return fig;
+}
+
+}  // namespace facsp::serve

@@ -1,0 +1,166 @@
+// The decision server: a long-lived admission-serving loop.
+//
+// Architecture (mirrors core::MultiCellEngine's determinism discipline):
+// the server owns `shards` independent cells — each with its own
+// CellularNetwork, policy instance and RNG streams rooted at
+// hash_seed(seed, "serve-cell", shard) — and advances them one simulated
+// second at a time.  Within a second each shard buffers its arrivals into
+// batching windows (at most `batch_window_s` of latency or `batch_max`
+// requests), answers every batch through the policy's zero-alloc
+// decide_batch path, applies admissions against the shard's base station,
+// and accumulates integer telemetry counters.  At the end of the second the
+// shards are merged in fixed shard order.
+//
+// Determinism: the shard count is part of the configuration, NOT derived
+// from the thread count, and threads only drain shards within a second —
+// so the telemetry stream is a pure function of (scenario, seed, shard
+// count) and byte-identical for ANY thread count.  Wall-clock decision
+// latency is inherently machine-dependent; it is therefore kept out of the
+// telemetry CSV entirely and reported in a separate latency CSV + summary.
+//
+// Steady-state allocation: every per-second container (arrival scratch,
+// batch spans, expiry heap, telemetry rows) is reserved up front and
+// reused, decide_batch reuses the policy's inference scratch, and with
+// threads == 1 the shards are drained by a plain serial loop (no
+// std::function) — so once warm, serving a second performs no heap
+// allocation except one BaseStation ledger node per *admitted* call
+// (bounded by capacity churn, ~capacity/mean_holding per second, not by
+// the request rate).  bench_server.cc audits this with a counting
+// operator new.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "serve/latency_histogram.h"
+#include "serve/request_stream.h"
+#include "serve/rolling_window.h"
+#include "serve/trace.h"
+#include "sim/timeseries.h"
+
+namespace facsp::serve {
+
+/// Everything the decision server depends on.
+struct ServerConfig {
+  /// Topology / traffic / seed (catalog scenario or config file).
+  core::ScenarioConfig scenario{};
+  /// Admission policy (core::policy_factory_by_name registry).
+  std::string policy = "facs-p";
+  /// Simulated seconds to serve.  Replay mode may leave this 0 to derive
+  /// the duration from the trace.
+  std::int64_t duration_s = 60;
+  /// Aggregate live-mode arrival rate (requests per simulated second),
+  /// split across shards (remainder to the lowest shard indices).
+  int requests_per_s = 2000;
+  /// Fraction of live-mode requests arriving as handoffs.
+  double handoff_fraction = 0.25;
+  /// Independent cells served (fixed by config — never by thread count).
+  int shards = 4;
+  /// Worker threads draining shards (1 = serial; 0 = hardware concurrency).
+  /// Pure throughput knob: telemetry is byte-identical for every value.
+  int threads = 1;
+  /// Admission-batching window: requests buffer at most this long before
+  /// the batch is decided (seconds, <= 1).  0.1 s keeps batches large
+  /// enough (~50 requests at the paper-grid rate) for the SIMD lanes of
+  /// decide_batch to pay off.
+  double batch_window_s = 0.1;
+  /// A batch also closes when it reaches this many requests.
+  int batch_max = 256;
+
+  /// Throws facsp::ConfigError on invalid values (`live` adds the
+  /// live-mode-only requirements: positive duration and rate).
+  void validate(bool live) const;
+};
+
+/// Per-second decision-latency percentiles (wall clock — deterministic in
+/// *shape* only, never byte-stable; kept out of the telemetry CSV).
+struct LatencyRow {
+  std::int64_t window = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p95_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Everything one server run produced.
+struct ServerResult {
+  double window_s = 1.0;
+  /// Deterministic per-second counters, merged across shards.
+  std::vector<TelemetryRow> telemetry;
+  /// Wall-clock latency per second (separate CSV; non-deterministic).
+  std::vector<LatencyRow> latency;
+  /// All decision latencies over the whole run.
+  LatencyHistogram overall;
+  std::int64_t total_decisions = 0;
+  std::int64_t total_admitted = 0;
+  /// Wall-clock duration of the serving loop.
+  double wall_s = 0.0;
+
+  double decisions_per_s() const noexcept {
+    return wall_s > 0.0 ? static_cast<double>(total_decisions) / wall_s : 0.0;
+  }
+};
+
+/// The serving loop.  Construct in live mode (requests synthesised by the
+/// workload layer) or replay mode (requests read from a recorded trace,
+/// partitioned round-robin across shards), then run() once.
+class DecisionServer {
+ public:
+  explicit DecisionServer(const ServerConfig& config);
+  DecisionServer(const ServerConfig& config, std::vector<StampedRequest> trace);
+  ~DecisionServer();
+
+  DecisionServer(const DecisionServer&) = delete;
+  DecisionServer& operator=(const DecisionServer&) = delete;
+
+  std::int64_t duration_s() const noexcept { return duration_s_; }
+
+  /// Serve the configured duration and return the merged result.
+  ServerResult run();
+
+ private:
+  struct Shard;
+  void build_shards();
+  void run_second(Shard& shard, std::int64_t second);
+
+  ServerConfig config_;
+  std::vector<StampedRequest> trace_;
+  bool replay_ = false;
+  std::int64_t duration_s_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Generate the live-mode request streams for `duration_s` seconds and
+/// return all requests merged and sorted by (arrival, id) — what
+/// `scenario_runner trace record` writes.  Pure function of the config.
+std::vector<StampedRequest> record_trace(const ServerConfig& config);
+
+// --- rendering -------------------------------------------------------------
+
+/// Deterministic telemetry CSV: one row per second, integer counters plus
+/// CBP/CDP percentages derived from them (core::format_double — byte-stable
+/// across runs, machines and thread counts).
+void write_telemetry_csv(const ServerResult& result, std::ostream& os);
+void write_telemetry_csv(const ServerResult& result, const std::string& path);
+
+/// Wall-clock latency CSV (second, samples, p50/p95/p99/max ns).  NOT
+/// byte-stable — never diff this in CI.
+void write_latency_csv(const ServerResult& result, std::ostream& os);
+void write_latency_csv(const ServerResult& result, const std::string& path);
+
+/// Run summary as JSON: totals, throughput, overall latency percentiles.
+void write_summary_json(const ServerConfig& config, const ServerResult& result,
+                        std::ostream& os);
+void write_summary_json(const ServerConfig& config, const ServerResult& result,
+                        const std::string& path);
+
+/// Human-readable per-second view (decisions, CBP, CDP) as a sim::Figure
+/// for aligned-table rendering on stdout.
+sim::Figure telemetry_figure(const ServerResult& result);
+
+}  // namespace facsp::serve

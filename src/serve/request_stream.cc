@@ -1,0 +1,83 @@
+#include "serve/request_stream.h"
+
+#include <cmath>
+
+#include "common/expects.h"
+
+namespace facsp::serve {
+
+namespace {
+
+/// The generator spreads one second's arrivals over its configured window;
+/// the serving clock ticks in whole seconds, so pin the window to 1 s
+/// regardless of what the scenario used for its figure sweeps.
+cellular::TrafficConfig per_second(cellular::TrafficConfig traffic) {
+  traffic.arrival_window_s = 1.0;
+  return traffic;
+}
+
+}  // namespace
+
+WorkloadRequestStream::WorkloadRequestStream(
+    const cellular::TrafficConfig& traffic, const cellular::HexLayout& layout,
+    cellular::Point bs_position, cellular::DirectionPredictor::Config predictor,
+    double handoff_fraction, int requests_per_s, const sim::RngFactory& rng,
+    cellular::ConnectionId first_id)
+    : bs_position_(bs_position),
+      requests_per_s_(requests_per_s),
+      handoff_fraction_(handoff_fraction),
+      gen_(per_second(traffic), layout, cellular::HexCoord{0, 0}, bs_position,
+           rng.stream("traffic"), first_id),
+      predictor_(predictor, rng.stream("predictor")),
+      kind_rng_(rng.stream("handoff-kind")) {
+  FACSP_EXPECTS(requests_per_s >= 0);
+  FACSP_EXPECTS(handoff_fraction >= 0.0 && handoff_fraction <= 1.0);
+}
+
+bool WorkloadRequestStream::next_second(
+    std::int64_t second, std::vector<cac::AdmissionRequest>& reqs,
+    std::vector<double>& holding_s) {
+  gen_.generate_into(requests_per_s_, static_cast<double>(second), scratch_);
+  for (const cellular::CallRequest& call : scratch_) {
+    cac::AdmissionRequest& req = reqs.emplace_back();
+    req.id = call.id;
+    req.service = call.service;
+    req.bandwidth = call.bandwidth;
+    req.kind = kind_rng_.bernoulli(handoff_fraction_)
+                   ? cellular::RequestKind::kHandoff
+                   : cellular::RequestKind::kNew;
+    req.priority = call.priority;
+    req.speed_kmh = call.mobile.speed_kmh;
+    req.angle_deg = predictor_.predict_angle_deg(call.mobile, bs_position_);
+    req.distance_m = cellular::distance(call.mobile.position, bs_position_);
+    req.mobile = call.mobile;
+    req.now = call.arrival_time;
+    holding_s.push_back(call.holding_time);
+  }
+  return true;  // live streams never run dry
+}
+
+TraceReplayStream::TraceReplayStream(const std::vector<StampedRequest>& trace,
+                                     int shard, int shards)
+    : trace_(trace), cursor_(0), shard_(shard), shards_(shards) {
+  FACSP_EXPECTS(shards > 0 && shard >= 0 && shard < shards);
+  while (cursor_ < trace_.size() &&
+         static_cast<int>(cursor_ % static_cast<std::size_t>(shards_)) !=
+             shard_)
+    ++cursor_;
+}
+
+bool TraceReplayStream::next_second(std::int64_t second,
+                                    std::vector<cac::AdmissionRequest>& reqs,
+                                    std::vector<double>& holding_s) {
+  const double end = static_cast<double>(second + 1);
+  while (cursor_ < trace_.size() && trace_[cursor_].req.now < end) {
+    FACSP_EXPECTS(trace_[cursor_].req.now >= static_cast<double>(second));
+    reqs.push_back(trace_[cursor_].req);
+    holding_s.push_back(trace_[cursor_].holding_s);
+    cursor_ += static_cast<std::size_t>(shards_);
+  }
+  return cursor_ < trace_.size();
+}
+
+}  // namespace facsp::serve

@@ -1,0 +1,96 @@
+// Request sources for the decision server: live synthesis from the
+// workload layer on a simulated clock, or replay of a recorded trace.
+//
+// A stream is per-shard.  The server fixes the shard count up front (it is
+// part of the scenario, NOT derived from the thread count), assigns each
+// shard its own stream, and asks every stream for one simulated second of
+// arrivals at a time.  All randomness is drawn from streams rooted at
+// hash_seed(seed, "serve-cell", shard), so the request sequence — and
+// therefore the telemetry — is a pure function of (scenario, seed, shard
+// count), independent of how many threads drain the shards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cellular/mobility.h"
+#include "cellular/network.h"
+#include "cellular/traffic.h"
+#include "serve/trace.h"
+#include "sim/rng.h"
+
+namespace facsp::serve {
+
+/// One shard's source of admission requests.
+class RequestStream {
+ public:
+  virtual ~RequestStream() = default;
+
+  /// Append this shard's requests with arrival in [second, second + 1) —
+  /// sorted by arrival time (`req.now`) — to `reqs`, and each request's
+  /// holding time to `holding_s` (parallel arrays, NOT cleared; the
+  /// requests land contiguously so the serving loop can hand sub-spans
+  /// straight to decide_batch without re-copying).  Returns false when the
+  /// stream has no further requests at or after `second + 1` (live streams
+  /// never end; replay ends when the trace is exhausted).
+  ///
+  /// Steady-state contract: once the vectors have reached their high-water
+  /// capacity, calls perform no heap allocation.
+  virtual bool next_second(std::int64_t second,
+                           std::vector<cac::AdmissionRequest>& reqs,
+                           std::vector<double>& holding_s) = 0;
+};
+
+/// Live synthesis: cellular::TrafficGenerator arrivals at a fixed rate,
+/// stamped with the predicted angle/distance exactly like the session
+/// driver's admission path.  A configured fraction of requests is marked as
+/// inbound handoffs (the serving loop has no neighbour shards to route real
+/// departures through — the stream models the handoff pressure instead).
+class WorkloadRequestStream final : public RequestStream {
+ public:
+  /// `layout` and `bs_position` must outlive the stream (they belong to the
+  /// shard's CellularNetwork).  `requests_per_s` is this shard's share of
+  /// the server rate; `first_id` starts the shard's disjoint id range.
+  WorkloadRequestStream(const cellular::TrafficConfig& traffic,
+                        const cellular::HexLayout& layout,
+                        cellular::Point bs_position,
+                        cellular::DirectionPredictor::Config predictor,
+                        double handoff_fraction, int requests_per_s,
+                        const sim::RngFactory& rng,
+                        cellular::ConnectionId first_id);
+
+  bool next_second(std::int64_t second,
+                   std::vector<cac::AdmissionRequest>& reqs,
+                   std::vector<double>& holding_s) override;
+
+ private:
+  cellular::Point bs_position_;
+  int requests_per_s_;
+  double handoff_fraction_;
+  cellular::TrafficGenerator gen_;
+  cellular::DirectionPredictor predictor_;
+  sim::RandomStream kind_rng_;
+  std::vector<cellular::CallRequest> scratch_;
+};
+
+/// Replay of a recorded trace.  The trace is shared by all shards; shard
+/// `s` of `S` owns records with index % S == s, preserving relative order.
+/// The vector must outlive the stream and be sorted by arrival time (as
+/// written by `trace record`).
+class TraceReplayStream final : public RequestStream {
+ public:
+  TraceReplayStream(const std::vector<StampedRequest>& trace, int shard,
+                    int shards);
+
+  bool next_second(std::int64_t second,
+                   std::vector<cac::AdmissionRequest>& reqs,
+                   std::vector<double>& holding_s) override;
+
+ private:
+  const std::vector<StampedRequest>& trace_;
+  std::size_t cursor_;  ///< next owned record not yet replayed
+  int shard_, shards_;
+};
+
+}  // namespace facsp::serve

@@ -1,0 +1,43 @@
+#include "serve/rolling_window.h"
+
+#include <cmath>
+
+#include "common/expects.h"
+
+namespace facsp::serve {
+
+void TelemetryRow::merge(const TelemetryRow& other) noexcept {
+  decisions += other.decisions;
+  admitted += other.admitted;
+  new_attempts += other.new_attempts;
+  blocked_new += other.blocked_new;
+  handoff_attempts += other.handoff_attempts;
+  dropped_handoff += other.dropped_handoff;
+  queue_depth += other.queue_depth;
+  active_sessions += other.active_sessions;
+}
+
+RollingWindow::RollingWindow(double window_s) : window_s_(window_s) {
+  FACSP_EXPECTS(window_s > 0.0);
+}
+
+std::int64_t RollingWindow::window_of(double t_s) const noexcept {
+  return static_cast<std::int64_t>(std::floor(t_s / window_s_));
+}
+
+TelemetryRow& RollingWindow::row_for(std::int64_t w) {
+  FACSP_EXPECTS(w >= 0);
+  if (!rows_.empty()) {
+    FACSP_EXPECTS(w >= rows_.back().window);
+    if (w == rows_.back().window) return rows_.back();
+  }
+  // Open any windows skipped while idle so the CSV has a contiguous grid.
+  std::int64_t next = rows_.empty() ? 0 : rows_.back().window + 1;
+  for (; next <= w; ++next) {
+    rows_.emplace_back();
+    rows_.back().window = next;
+  }
+  return rows_.back();
+}
+
+}  // namespace facsp::serve

@@ -1,0 +1,79 @@
+// Rolling per-window telemetry counters for the decision server.
+//
+// Telemetry that must be byte-identical across runs and thread counts is
+// kept as integer counters only; percentages (CBP/CDP) are derived at
+// rendering time from the merged integers, so no floating-point summation
+// order can leak into the deterministic CSV.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace facsp::serve {
+
+/// Counters for one telemetry window (one simulated second by default).
+/// All fields are integers so cross-shard merging is order-independent.
+struct TelemetryRow {
+  std::int64_t window = 0;  ///< window index = floor(t / window_s)
+  std::int64_t decisions = 0;
+  std::int64_t admitted = 0;
+  std::int64_t new_attempts = 0;
+  std::int64_t blocked_new = 0;
+  std::int64_t handoff_attempts = 0;
+  std::int64_t dropped_handoff = 0;
+  /// Largest single-batch backlog observed inside the window.
+  std::int64_t queue_depth = 0;
+  /// Sessions alive at the end of the window.
+  std::int64_t active_sessions = 0;
+
+  /// Call-blocking probability over the window, percent (paper's CBP).
+  double cbp_pct() const noexcept {
+    return new_attempts == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(blocked_new) /
+                     static_cast<double>(new_attempts);
+  }
+  /// Call-dropping probability over the window, percent (paper's CDP).
+  double cdp_pct() const noexcept {
+    return handoff_attempts == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(dropped_handoff) /
+                     static_cast<double>(handoff_attempts);
+  }
+
+  /// Accumulate another shard's row for the same window.  queue_depth and
+  /// active_sessions sum too: each shard owns a disjoint cell, so the
+  /// totals are the system-wide backlog and population.
+  void merge(const TelemetryRow& other) noexcept;
+};
+
+/// Accumulates per-window rows on a simulated clock.  Windows are
+/// half-open [k*w, (k+1)*w): an event exactly on the edge k*w counts in
+/// window k.  Rows are appended in window order; rows() is stable storage
+/// reserved up front, so steady-state recording never reallocates once
+/// reserve_windows() has been called.
+class RollingWindow {
+ public:
+  explicit RollingWindow(double window_s = 1.0);
+
+  double window_s() const noexcept { return window_s_; }
+
+  /// Index of the window containing simulated time t.
+  std::int64_t window_of(double t_s) const noexcept;
+
+  /// Returns the mutable row for window `w`, opening it (and any skipped
+  /// empty windows) if needed.  `w` must not precede the last opened
+  /// window.
+  TelemetryRow& row_for(std::int64_t w);
+
+  void reserve_windows(std::size_t n) { rows_.reserve(n); }
+
+  const std::vector<TelemetryRow>& rows() const noexcept { return rows_; }
+  std::vector<TelemetryRow>& rows() noexcept { return rows_; }
+
+ private:
+  double window_s_;
+  std::vector<TelemetryRow> rows_;
+};
+
+}  // namespace facsp::serve

@@ -1,0 +1,45 @@
+// On-disk admission-request trace: `trace record` captures the exact
+// request sequence a workload stream produces, `trace replay` (and the
+// decision server's replay mode) feeds it back.
+//
+// The format is a plain CSV with a fixed header (see kTraceColumns).  All
+// doubles are written through core::format_double — shortest decimal that
+// round-trips exactly — so record -> replay -> record is byte-stable and a
+// recorded trace is diffable across machines.
+//
+// Records carry the *post-prediction* request (the noisy angle the policy
+// actually saw, not the true heading), so replaying never re-draws any
+// randomness: a trace pins the policy inputs completely.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cac/policy.h"
+
+namespace facsp::serve {
+
+/// One admission request as the server sees it, plus the call's holding
+/// time (needed to schedule the session's bandwidth release on admit).
+/// `req.now` is the arrival time in seconds on the simulated clock.
+struct StampedRequest {
+  cac::AdmissionRequest req;
+  double holding_s = 0.0;
+};
+
+/// The trace header line (column order is part of the format).
+extern const char kTraceHeader[];
+
+/// Write records as trace CSV.  Byte-stable: same records -> same bytes.
+void write_trace(const std::vector<StampedRequest>& records, std::ostream& os);
+/// Throws facsp::Error on I/O failure.
+void write_trace_file(const std::vector<StampedRequest>& records,
+                      const std::string& path);
+
+/// Parse a trace CSV.  Throws facsp::ParseError on a malformed header,
+/// unknown enum name, or unparsable number.
+std::vector<StampedRequest> read_trace(std::istream& is);
+std::vector<StampedRequest> read_trace_file(const std::string& path);
+
+}  // namespace facsp::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -41,7 +42,7 @@ std::optional<double> Series::ci(std::size_t i) const {
 double Series::y_at(double x_query) const {
   FACSP_EXPECTS(!xs_.empty());
   double best_x = -std::numeric_limits<double>::infinity();
-  double best_y = ys_.front();
+  double best_y = 0.0;
   bool found = false;
   for (std::size_t i = 0; i < xs_.size(); ++i) {
     if (xs_[i] <= x_query && xs_[i] > best_x) {
@@ -50,7 +51,16 @@ double Series::y_at(double x_query) const {
       found = true;
     }
   }
-  return found ? best_y : ys_.front();
+  // The step function is undefined left of the first point; silently
+  // returning ys_.front() there (the historical behaviour) hid off-grid
+  // queries.
+  FACSP_EXPECTS(found);
+  return best_y;
+}
+
+double Series::min_x() const {
+  FACSP_EXPECTS(!xs_.empty());
+  return *std::min_element(xs_.begin(), xs_.end());
 }
 
 Figure::Figure(std::string title, std::string x_label, std::string y_label)

@@ -24,8 +24,14 @@ class Series {
   double y(std::size_t i) const;
   std::optional<double> ci(std::size_t i) const;
 
-  /// y value at the largest x <= query (steps); throws if empty.
+  /// y value at the largest x <= query (steps).  Throws (ContractViolation)
+  /// when the series is empty OR when x_query precedes every x — the step
+  /// function is undefined there; callers probing a shared grid should skip
+  /// x values below min_x().
   double y_at(double x_query) const;
+
+  /// Smallest x in the series; throws if empty.
+  double min_x() const;
 
  private:
   std::string name_;

@@ -1,0 +1,103 @@
+#include "serve/rolling_window.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace facsp::serve {
+namespace {
+
+TEST(RollingWindow, BoundaryTickCountsInTheOpeningWindow) {
+  // Windows are half-open [k*w, (k+1)*w): an event exactly on the edge
+  // belongs to the window it opens.
+  RollingWindow w(1.0);
+  EXPECT_EQ(w.window_of(0.0), 0);
+  EXPECT_EQ(w.window_of(0.999999), 0);
+  EXPECT_EQ(w.window_of(1.0), 1);
+  EXPECT_EQ(w.window_of(std::nextafter(2.0, 0.0)), 1);
+  EXPECT_EQ(w.window_of(2.0), 2);
+
+  RollingWindow half(0.5);
+  EXPECT_EQ(half.window_of(0.5), 1);
+  EXPECT_EQ(half.window_of(std::nextafter(0.5, 0.0)), 0);
+  EXPECT_EQ(half.window_of(1.0), 2);
+}
+
+TEST(RollingWindow, RowForReturnsSameRowWithinWindow) {
+  RollingWindow w(1.0);
+  TelemetryRow& a = w.row_for(0);
+  a.decisions = 3;
+  TelemetryRow& b = w.row_for(0);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.decisions, 3);
+}
+
+TEST(RollingWindow, RowForOpensSkippedWindowsContiguously) {
+  RollingWindow w(1.0);
+  w.row_for(0).decisions = 1;
+  w.row_for(3).decisions = 9;  // seconds 1 and 2 were idle
+  ASSERT_EQ(w.rows().size(), 4u);
+  for (std::int64_t i = 0; i < 4; ++i)
+    EXPECT_EQ(w.rows()[static_cast<std::size_t>(i)].window, i);
+  EXPECT_EQ(w.rows()[1].decisions, 0);
+  EXPECT_EQ(w.rows()[2].decisions, 0);
+  EXPECT_EQ(w.rows()[3].decisions, 9);
+}
+
+TEST(RollingWindow, RowForRejectsGoingBackwards) {
+  RollingWindow w(1.0);
+  w.row_for(2);
+  EXPECT_THROW(w.row_for(1), ContractViolation);
+  EXPECT_THROW(w.row_for(-1), ContractViolation);
+}
+
+TEST(RollingWindow, InvalidWindowLengthThrows) {
+  EXPECT_THROW(RollingWindow(0.0), ContractViolation);
+  EXPECT_THROW(RollingWindow(-1.0), ContractViolation);
+}
+
+TEST(TelemetryRow, MergeSumsAllCounters) {
+  TelemetryRow a, b;
+  a.decisions = 10;
+  a.admitted = 4;
+  a.new_attempts = 7;
+  a.blocked_new = 3;
+  a.handoff_attempts = 3;
+  a.dropped_handoff = 1;
+  a.queue_depth = 5;
+  a.active_sessions = 2;
+  b.decisions = 20;
+  b.admitted = 6;
+  b.new_attempts = 15;
+  b.blocked_new = 9;
+  b.handoff_attempts = 5;
+  b.dropped_handoff = 2;
+  b.queue_depth = 7;
+  b.active_sessions = 4;
+  a.merge(b);
+  EXPECT_EQ(a.decisions, 30);
+  EXPECT_EQ(a.admitted, 10);
+  EXPECT_EQ(a.new_attempts, 22);
+  EXPECT_EQ(a.blocked_new, 12);
+  EXPECT_EQ(a.handoff_attempts, 8);
+  EXPECT_EQ(a.dropped_handoff, 3);
+  EXPECT_EQ(a.queue_depth, 12);
+  EXPECT_EQ(a.active_sessions, 6);
+}
+
+TEST(TelemetryRow, BlockingAndDroppingPercentages) {
+  TelemetryRow r;
+  EXPECT_DOUBLE_EQ(r.cbp_pct(), 0.0);  // no attempts -> 0, not NaN
+  EXPECT_DOUBLE_EQ(r.cdp_pct(), 0.0);
+  r.new_attempts = 8;
+  r.blocked_new = 2;
+  r.handoff_attempts = 4;
+  r.dropped_handoff = 3;
+  EXPECT_DOUBLE_EQ(r.cbp_pct(), 25.0);
+  EXPECT_DOUBLE_EQ(r.cdp_pct(), 75.0);
+}
+
+}  // namespace
+}  // namespace facsp::serve

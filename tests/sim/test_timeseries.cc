@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/error.h"
@@ -28,11 +29,38 @@ TEST(Series, YAtStepsToLargestXNotAbove) {
   s.add(10.0, 1.0);
   s.add(20.0, 2.0);
   s.add(30.0, 3.0);
+  // Exact hit on a grid point.
   EXPECT_DOUBLE_EQ(s.y_at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.y_at(30.0), 3.0);
+  // Between points: steps to the largest x not above the query.
   EXPECT_DOUBLE_EQ(s.y_at(25.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.y_at(10.5), 1.0);
+  // Past the last point: holds the final value.
   EXPECT_DOUBLE_EQ(s.y_at(100.0), 3.0);
-  // Below the smallest x falls back to the first point.
-  EXPECT_DOUBLE_EQ(s.y_at(5.0), 1.0);
+}
+
+TEST(Series, YAtThrowsWhenEmpty) {
+  Series s("empty");
+  EXPECT_THROW(s.y_at(10.0), ContractViolation);
+  EXPECT_THROW(s.min_x(), ContractViolation);
+}
+
+TEST(Series, YAtThrowsBeforeFirstPoint) {
+  Series s("a");
+  s.add(10.0, 1.0);
+  s.add(20.0, 2.0);
+  // The step function is undefined left of the first x: the old code
+  // silently returned ys_.front() here.
+  EXPECT_THROW(s.y_at(5.0), ContractViolation);
+  EXPECT_THROW(s.y_at(std::nextafter(10.0, 0.0)), ContractViolation);
+  EXPECT_DOUBLE_EQ(s.min_x(), 10.0);
+  // Out-of-order insertion still finds the true minimum.
+  Series t("b");
+  t.add(30.0, 3.0);
+  t.add(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.min_x(), 10.0);
+  EXPECT_DOUBLE_EQ(t.y_at(15.0), 1.0);
+  EXPECT_THROW(t.y_at(9.0), ContractViolation);
 }
 
 TEST(Figure, TableContainsAllSeriesAndRows) {

@@ -16,8 +16,14 @@ Usage:
   tools/check_bench_regression.py /tmp/bench.json bench/BENCH_inference.json \
       --bench BM_FacsPDecide [--factor 1.25]
 
+Repetition runs (``--benchmark_repetitions=N`` or ``->Repetitions(N)``)
+are handled: aggregate rows (mean/median/stddev) are skipped, the
+``/repeats:N`` name suffix is stripped, and the minimum across the
+repetitions is compared (the least-noisy estimate of the true cost).
+
 Exit status: 0 when every guarded benchmark is within budget, 1 on
 regression or when a guarded benchmark is missing from either file.
+``--selftest`` runs the built-in unit checks instead (wired as a ctest).
 """
 
 import argparse
@@ -25,16 +31,91 @@ import json
 import sys
 
 
+class ReportError(Exception):
+    """A malformed benchmark report entry (bad fields, not a regression)."""
+
+
+def base_name(name):
+    """Benchmark family name: strip the '/repeats:N' segment google-benchmark
+    appends when repetitions are requested at registration time, so a guard
+    on BM_X matches however the bench was run."""
+    return "/".join(p for p in name.split("/") if not p.startswith("repeats:"))
+
+
 def per_op_ns(entry):
     """Per-operation (per-item for batch benches) time in nanoseconds."""
+    name = entry.get("name", "<unnamed>")
     if "items_per_second" in entry:
-        return 1e9 / entry["items_per_second"]
-    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[entry["time_unit"]]
+        ips = entry["items_per_second"]
+        # 0.0 (forgot SetItemsProcessed, or a zero-item run) must be a clear
+        # diagnostic, not a ZeroDivisionError traceback.
+        if not isinstance(ips, (int, float)) or ips <= 0:
+            raise ReportError(
+                f"{name}: items_per_second is {ips!r}; cannot derive the "
+                "per-item time (does the bench call SetItemsProcessed with "
+                "a positive count?)"
+            )
+        return 1e9 / ips
+    if "real_time" not in entry or "time_unit" not in entry:
+        raise ReportError(f"{name}: entry has no real_time/time_unit")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(entry["time_unit"])
+    if scale is None:
+        raise ReportError(f"{name}: unknown time_unit '{entry['time_unit']}'")
     return entry["real_time"] * scale
+
+
+def measured_times(report):
+    """Map family name -> min per-op ns across iteration rows."""
+    measured = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = base_name(entry["name"])
+        ns = per_op_ns(entry)
+        measured[name] = min(ns, measured.get(name, ns))
+    return measured
+
+
+def selftest():
+    entries = [
+        {"name": "BM_A/repeats:3", "run_type": "iteration",
+         "items_per_second": 1e9},
+        {"name": "BM_A/repeats:3", "run_type": "iteration",
+         "items_per_second": 2e9},
+        {"name": "BM_A/repeats:3_mean", "run_type": "aggregate",
+         "items_per_second": 1.5e9},
+        {"name": "BM_B/64", "run_type": "iteration",
+         "real_time": 2.0, "time_unit": "us"},
+    ]
+    measured = measured_times({"benchmarks": entries})
+    assert measured == {"BM_A": 0.5, "BM_B/64": 2000.0}, measured
+
+    for bad in (
+        {"name": "BM_C", "items_per_second": 0.0},
+        {"name": "BM_C", "items_per_second": None},
+        {"name": "BM_C", "real_time": 1.0},  # no time_unit
+        {"name": "BM_C", "real_time": 1.0, "time_unit": "h"},
+    ):
+        try:
+            per_op_ns(bad)
+        except ReportError:
+            pass
+        else:
+            raise AssertionError(f"accepted malformed entry {bad}")
+
+    assert base_name("BM_X/repeats:5") == "BM_X"
+    assert base_name("BM_X/256/repeats:5") == "BM_X/256"
+    assert base_name("BM_X/256") == "BM_X/256"
+    print("selftest ok")
+    return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in unit checks and exit")
+    if "--selftest" in sys.argv[1:]:
+        return selftest()
     parser.add_argument("report", help="google-benchmark JSON report")
     parser.add_argument("baseline", help="baseline file (BENCH_inference.json)")
     parser.add_argument(
@@ -57,11 +138,11 @@ def main():
     with open(args.baseline) as f:
         baseline = json.load(f)["benchmarks"]
 
-    measured = {}
-    for entry in report.get("benchmarks", []):
-        if entry.get("run_type") == "aggregate":
-            continue
-        measured[entry["name"]] = per_op_ns(entry)
+    try:
+        measured = measured_times(report)
+    except ReportError as e:
+        print(f"error: {e}")
+        return 1
 
     failed = False
     for name in guarded:
