@@ -38,6 +38,8 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 #include "cac/policy.h"
 #include "core/config_io.h"
 #include "core/multicell.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/rng.h"
 #include "workload/catalog.h"
 
@@ -178,6 +180,14 @@ int main() {
     const auto reqs = make_batch(kBatch);
     std::vector<cac::AdmissionDecision> out(kBatch);
 
+    // The audit runs with metrics + tracing enabled: the batch path's
+    // instrumentation (fuzzy.decide_batch span, fuzzy.decisions counter)
+    // must also be allocation-free once warm.  Registration and the
+    // thread's trace ring allocate during the warm-up calls below, before
+    // the counted region.
+    obs::set_metrics_enabled(true);
+    obs::Tracer::start();
+
     // Warm both paths (sizes every internal scratch buffer).
     for (std::size_t i = 0; i < kBatch; ++i)
       out[i] = policy->decide(reqs[i], network.center());
@@ -199,13 +209,19 @@ int main() {
         static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) -
                             alloc_before) /
         kBatches;
+    const std::uint64_t traced = obs::Tracer::recorded_events();
+    obs::Tracer::clear();
+    obs::set_metrics_enabled(false);
 
     const double scalar_mdec = kBatch * kBatches / scalar_s / 1e6;
     const double batch_mdec = kBatch * kBatches / batch_s / 1e6;
     std::printf("  scalar decide():   %8.3f Mdecisions/s\n", scalar_mdec);
     std::printf("  decide_batch():    %8.3f Mdecisions/s  (%.2fx)\n",
                 batch_mdec, batch_mdec / scalar_mdec);
-    std::printf("  allocs per steady-state batch: %.2f\n", allocs_per_batch);
+    std::printf(
+        "  allocs per steady-state batch: %.2f  (metrics + tracing on, "
+        "%llu spans recorded)\n",
+        allocs_per_batch, static_cast<unsigned long long>(traced));
     json += ", \"scalar_mdec_s\": " + std::to_string(scalar_mdec) +
             ", \"batch_mdec_s\": " + std::to_string(batch_mdec) +
             ", \"batch_allocs\": " + std::to_string(allocs_per_batch);
@@ -216,6 +232,15 @@ int main() {
                    "FAIL: decide_batch allocated %.2f times per steady-state "
                    "batch (expected 0)\n",
                    allocs_per_batch);
+      ++failures;
+    }
+    // And the audit must not have been vacuous: with tracing enabled every
+    // counted decide_batch call records a span.
+    if (traced < static_cast<std::uint64_t>(kBatches)) {
+      std::fprintf(stderr,
+                   "FAIL: expected >= %d traced spans during the audit, "
+                   "saw %llu\n",
+                   kBatches, static_cast<unsigned long long>(traced));
       ++failures;
     }
   }

@@ -42,6 +42,8 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/decision_loop.h"
 #include "workload/catalog.h"
 
@@ -103,23 +105,43 @@ std::size_t allocations_for_duration(std::int64_t duration_s) {
   return g_alloc_count.load(std::memory_order_relaxed) - before;
 }
 
-// Returns 0 when the extra steady-state seconds allocated nothing.
-int steady_state_allocation_audit() {
+// Returns 0 when the extra steady-state seconds allocated nothing.  Runs
+// the 8 s / 16 s pair twice: once with observability off (the default
+// serving configuration) and once with metrics + tracing enabled — span
+// recording and metric updates must also add exactly zero steady-state
+// allocations.  The obs warm-up run before the enabled pair absorbs the
+// one-time registration costs (registry entries, the thread's trace ring)
+// so both measured runs see an identical warm observability layer.
+int audit_pair(const char* label) {
   const std::size_t short_run = allocations_for_duration(8);
   const std::size_t long_run = allocations_for_duration(16);
   if (long_run != short_run) {
     std::fprintf(stderr,
-                 "steady-state allocation audit FAILED: 8 s run made %zu "
-                 "allocations, 16 s run made %zu — the extra seconds "
+                 "steady-state allocation audit (%s) FAILED: 8 s run made "
+                 "%zu allocations, 16 s run made %zu — the extra seconds "
                  "allocated %zu times\n",
-                 short_run, long_run, long_run - short_run);
+                 label, short_run, long_run, long_run - short_run);
     return 1;
   }
   std::fprintf(stderr,
-               "steady-state allocation audit ok: 8 s and 16 s runs both "
-               "made %zu allocations (steady seconds allocate nothing)\n",
-               short_run);
+               "steady-state allocation audit (%s) ok: 8 s and 16 s runs "
+               "both made %zu allocations (steady seconds allocate "
+               "nothing)\n",
+               label, short_run);
   return 0;
+}
+
+int steady_state_allocation_audit() {
+  int failures = audit_pair("observability off");
+
+  obs::set_metrics_enabled(true);
+  obs::Tracer::start();
+  (void)allocations_for_duration(2);  // warm-up: registers metrics + ring
+  failures += audit_pair("metrics + tracing on");
+  obs::Tracer::clear();
+  obs::set_metrics_enabled(false);
+
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace

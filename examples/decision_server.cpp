@@ -21,6 +21,8 @@
 #include "common/error.h"
 #include "core/config_io.h"
 #include "core/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/decision_loop.h"
 #include "workload/catalog.h"
 
@@ -58,6 +60,10 @@ int usage(const char* argv0, FILE* dst) {
       "Output:\n"
       "  --out <prefix>           file prefix (default 'server')\n"
       "  --table                  also print the per-second table\n"
+      "  --trace <file>           record a Chrome trace-event JSON of the\n"
+      "                           run (open in Perfetto / chrome://tracing)\n"
+      "  --metrics <file>         write a metrics snapshot after the run\n"
+      "                           (.csv suffix -> CSV, otherwise JSON)\n"
       "  --help                   this message\n",
       argv0);
   return dst == stderr ? 2 : 0;
@@ -103,8 +109,11 @@ int run(int argc, char** argv) {
   std::optional<std::string> replay_path;
   std::optional<std::uint64_t> seed_override;
   std::string out_prefix = "server";
+  std::string trace_path;
+  std::string metrics_path;
   bool print_table = false;
   bool duration_given = false;
+  bool scenario_named = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,11 +123,15 @@ int run(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--help") return usage(argv[0], stdout);
-    if (arg == "--scenario")
-      config.scenario = workload::catalog_scenario(value("--scenario"));
-    else if (arg == "--config")
-      config.scenario = core::load_scenario_file(value("--config"));
-    else if (arg == "--replay")
+    if (arg == "--scenario") {
+      config.scenario_label = value("--scenario");
+      config.scenario = workload::catalog_scenario(config.scenario_label);
+      scenario_named = true;
+    } else if (arg == "--config") {
+      config.scenario_label = value("--config");
+      config.scenario = core::load_scenario_file(config.scenario_label);
+      scenario_named = true;
+    } else if (arg == "--replay")
       replay_path = value("--replay");
     else if (arg == "--policy")
       config.policy = value("--policy");
@@ -143,6 +156,10 @@ int run(int argc, char** argv) {
       seed_override = parse_u64(value("--seed"), "--seed");
     else if (arg == "--out")
       out_prefix = value("--out");
+    else if (arg == "--trace")
+      trace_path = value("--trace");
+    else if (arg == "--metrics")
+      metrics_path = value("--metrics");
     else if (arg == "--table")
       print_table = true;
     else {
@@ -151,9 +168,15 @@ int run(int argc, char** argv) {
     }
   }
   if (seed_override) config.scenario.seed = *seed_override;
+  if (!scenario_named) config.scenario_label = "paper-grid";
 
   // Validate the policy name before the (possibly long) trace load.
   (void)core::policy_factory_by_name(config.policy);
+
+  // Observability on demand: both switches default off, so an untraced run
+  // pays only the branch-only disabled path at each instrumentation site.
+  if (!metrics_path.empty()) obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) obs::Tracer::start();
 
   serve::ServerResult result;
   if (replay_path) {
@@ -175,6 +198,17 @@ int run(int argc, char** argv) {
         config.policy.c_str(), config.shards, config.threads,
         static_cast<unsigned long long>(config.scenario.seed));
     result = server.run();
+  }
+
+  if (!trace_path.empty()) {
+    obs::Tracer::stop();
+    obs::Tracer::write_json(trace_path);
+    std::printf("wrote trace %s (%llu events)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(obs::Tracer::recorded_events()));
+  }
+  if (!metrics_path.empty()) {
+    obs::write_snapshot(metrics_path);
+    std::printf("wrote metrics %s\n", metrics_path.c_str());
   }
 
   serve::write_telemetry_csv(result, out_prefix + "_telemetry.csv");

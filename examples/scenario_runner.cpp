@@ -26,6 +26,8 @@
 #include "core/paper.h"
 #include "core/report.h"
 #include "core/sweep.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/decision_loop.h"
 #include "serve/trace.h"
 #include "sim/stats.h"
@@ -75,6 +77,10 @@ int usage(const char* argv0, FILE* dst) {
       "                          in a multi-cell single run this drives the\n"
       "                          shard workers unless --cell-threads is set\n"
       "  --out <prefix>          write <prefix>.csv and <prefix>.json\n"
+      "  --trace <file>          record a Chrome trace-event JSON of the\n"
+      "                          run (open in Perfetto / chrome://tracing)\n"
+      "  --metrics <file>        write a metrics snapshot after the run\n"
+      "                          (.csv suffix -> CSV, otherwise JSON)\n"
       "\n"
       "Decision-server traces (see docs/serving.md):\n"
       "  trace record --out <trace.csv> [--scenario ... --seed ...]\n"
@@ -127,6 +133,31 @@ struct SweepAxisArg {
   std::vector<std::string> values;
 };
 
+/// --trace / --metrics lifecycle shared by every subcommand: switch the
+/// observability layer on before the run, flush the artifacts after.
+struct ObsSession {
+  std::string trace_path;
+  std::string metrics_path;
+
+  void begin() const {
+    if (!metrics_path.empty()) obs::set_metrics_enabled(true);
+    if (!trace_path.empty()) obs::Tracer::start();
+  }
+  void finish() const {
+    if (!trace_path.empty()) {
+      obs::Tracer::stop();
+      obs::Tracer::write_json(trace_path);
+      std::printf("wrote trace %s (%llu events)\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(
+                      obs::Tracer::recorded_events()));
+    }
+    if (!metrics_path.empty()) {
+      obs::write_snapshot(metrics_path);
+      std::printf("wrote metrics %s\n", metrics_path.c_str());
+    }
+  }
+};
+
 struct Options {
   std::optional<std::string> scenario_name;
   std::optional<std::string> config_file;
@@ -136,6 +167,7 @@ struct Options {
   std::vector<std::string> policies;
   std::vector<SweepAxisArg> sweeps;
   std::optional<std::string> out;
+  ObsSession obs;
   std::string policy = "facs-p";
   int n = 60;
   int reps = 8;
@@ -380,7 +412,8 @@ int run_trace(int argc, char** argv) {
         "  --shards <int> (default 4), --handoff-fraction <f>\n"
         "replay options: --policy <name>, --shards <int>, --threads <int>,\n"
         "  --duration <s> (default: derived from the trace),\n"
-        "  --batch-window <s>, --batch-max <int>, --out <prefix>\n"
+        "  --batch-window <s>, --batch-max <int>, --out <prefix>,\n"
+        "  --trace <perfetto.json>, --metrics <file>\n"
         "\n"
         "Recorded traces pin the policy inputs completely (the noisy\n"
         "predicted angles are recorded, not re-drawn), so a replay's\n"
@@ -400,8 +433,10 @@ int run_trace(int argc, char** argv) {
 
   serve::ServerConfig config;
   config.scenario = workload::catalog_scenario("paper-grid");
+  config.scenario_label = "paper-grid";
   std::optional<std::string> out;
   std::optional<std::string> trace_path;
+  ObsSession obs_session;
   bool duration_given = false;
 
   for (int i = 3; i < argc; ++i) {
@@ -412,11 +447,13 @@ int run_trace(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--help" || arg == "-h") return trace_usage(stdout);
-    if (arg == "--scenario")
-      config.scenario = workload::catalog_scenario(value("--scenario"));
-    else if (arg == "--config")
-      config.scenario = core::load_scenario_file(value("--config"));
-    else if (arg == "--seed")
+    if (arg == "--scenario") {
+      config.scenario_label = value("--scenario");
+      config.scenario = workload::catalog_scenario(config.scenario_label);
+    } else if (arg == "--config") {
+      config.scenario_label = value("--config");
+      config.scenario = core::load_scenario_file(config.scenario_label);
+    } else if (arg == "--seed")
       config.scenario.seed = parse_u64(value("--seed"), "--seed");
     else if (arg == "--duration") {
       config.duration_s = parse_int(value("--duration"), "--duration");
@@ -437,6 +474,10 @@ int run_trace(int argc, char** argv) {
       config.batch_max = parse_int(value("--batch-max"), "--batch-max");
     else if (arg == "--out")
       out = value("--out");
+    else if (arg == "--trace")
+      obs_session.trace_path = value("--trace");
+    else if (arg == "--metrics")
+      obs_session.metrics_path = value("--metrics");
     else if (arg[0] != '-' && mode == "replay" && !trace_path)
       trace_path = arg;
     else {
@@ -463,7 +504,9 @@ int run_trace(int argc, char** argv) {
   if (!duration_given) config.duration_s = 0;  // derive from the trace
   serve::DecisionServer server(config,
                                serve::read_trace_file(*trace_path));
+  obs_session.begin();
   const serve::ServerResult result = server.run();
+  obs_session.finish();
   const std::string prefix = out.value_or("replay");
   serve::write_telemetry_csv(result, prefix + "_telemetry.csv");
   serve::write_latency_csv(result, prefix + "_latency.csv");
@@ -562,6 +605,10 @@ int main(int argc, char** argv) {
         opt.threads = parse_int(flag_value(i, "--threads"), "--threads");
       } else if (arg == "--out") {
         opt.out = flag_value(i, "--out");
+      } else if (arg == "--trace") {
+        opt.obs.trace_path = flag_value(i, "--trace");
+      } else if (arg == "--metrics") {
+        opt.obs.metrics_path = flag_value(i, "--metrics");
       } else if (arg.size() >= 2 && arg[0] == '-' && !std::isdigit(
                      static_cast<unsigned char>(arg[1]))) {
         std::fprintf(stderr, "error: unknown flag '%s'\n\n", arg.c_str());
@@ -596,7 +643,10 @@ int main(int argc, char** argv) {
     if (positional.size() >= p + 4)
       opt.threads = parse_int(positional[p + 3], "positional threads");
 
-    return run(opt);
+    opt.obs.begin();
+    const int rc = run(opt);
+    opt.obs.finish();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,8 +1,27 @@
 #include "cac/fuzzy_cac_base.h"
 
 #include "common/expects.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace facsp::cac {
+
+namespace {
+
+struct FuzzyMetrics {
+  obs::Counter& decisions;
+  obs::Histogram& batch_ns;
+
+  static FuzzyMetrics& get() {
+    static FuzzyMetrics m{
+        obs::Registry::instance().counter("fuzzy.decisions"),
+        obs::Registry::instance().histogram("fuzzy.batch_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 FuzzyCacBase::FuzzyCacBase(std::unique_ptr<fuzzy::FuzzyController> flc1,
                            std::unique_ptr<fuzzy::FuzzyController> flc2,
@@ -27,6 +46,11 @@ void FuzzyCacBase::decide_batch(std::span<const AdmissionRequest> reqs,
   FACSP_EXPECTS(reqs.size() == out.size());
   const std::size_t n = reqs.size();
   if (n == 0) return;
+
+  const bool metrics_on = obs::metrics_enabled();
+  obs::ScopedSpan span("fuzzy", "decide_batch", static_cast<std::int64_t>(n),
+                       metrics_on ? &FuzzyMetrics::get().batch_ns : nullptr);
+  if (metrics_on) FuzzyMetrics::get().decisions.add(n);
 
   // Stage 1: every request's FLC1 row (speed, angle, third input), batched
   // through the lane kernels.  batch_out receives the Cv per request.

@@ -5,11 +5,40 @@
 
 #include "common/expects.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/thread_pool.h"
 
 namespace facsp::core {
 
 namespace {
+
+/// Registered once, on the first epoch that runs with metrics enabled;
+/// afterwards every epoch just dereferences cached references.
+struct EngineMetrics {
+  obs::Counter& epochs;
+  obs::Counter& routed;
+  obs::Counter& left_world;
+  obs::Counter& admitted;
+  obs::Counter& dropped;
+  obs::Histogram& drain_ns;
+  obs::Histogram& barrier_ns;
+  obs::Gauge& sessions_resident;
+
+  static EngineMetrics& get() {
+    static EngineMetrics m{
+        obs::Registry::instance().counter("engine.epochs"),
+        obs::Registry::instance().counter("engine.handover.routed"),
+        obs::Registry::instance().counter("engine.handover.left_world"),
+        obs::Registry::instance().counter("engine.handover.admitted"),
+        obs::Registry::instance().counter("engine.handover.dropped"),
+        obs::Registry::instance().histogram("engine.drain_ns"),
+        obs::Registry::instance().histogram("engine.barrier_ns"),
+        obs::Registry::instance().gauge("engine.sessions_resident"),
+    };
+    return m;
+  }
+};
 
 /// Disjoint per-shard connection-id namespaces: migrating sessions keep
 /// their origin ids, so no two shards may ever mint the same one.  2^40
@@ -173,13 +202,24 @@ void MultiCellEngine::route_epoch(sim::SimTime t_end) {
     }
   }
 
-  if (observer_) {
+  const bool metrics_on = obs::metrics_enabled();
+  if (observer_ || metrics_on) {
     for (const Shard& sh : shards_) {
       es.active_sessions += sh.driver->session_count();
       for (const cellular::BaseStation* bs : sh.driver->network().stations())
         es.used_bu += bs->load().used;
     }
-    observer_(es);
+    if (metrics_on) {
+      EngineMetrics& m = EngineMetrics::get();
+      m.epochs.add(1);
+      m.routed.add(es.delivered);
+      m.left_world.add(es.left_world);
+      m.admitted.add(es.admitted);
+      m.dropped.add(es.dropped);
+      m.sessions_resident.set(
+          static_cast<std::int64_t>(es.active_sessions));
+    }
+    if (observer_) observer_(es);
   }
 }
 
@@ -210,13 +250,24 @@ MultiCellResult MultiCellEngine::run(int n_requests_per_cell) {
     for (const Shard& sh : shards_) any = any || !sh.driver->idle();
     if (!any) break;
     const sim::SimTime t_end = std::min(t + dt, horizon);
-    // Parallel drain: share-nothing — each shard touches only its own
-    // driver/policy/outbox, so worker scheduling cannot affect results.
-    pool.parallel_for(shards_.size(), [&](std::size_t i) {
-      shards_[i].driver->advance_until(t_end);
-    });
-    // Serial barrier: routing + batched admission in fixed order.
-    route_epoch(t_end);
+    obs::Histogram* const drain_hist =
+        obs::metrics_enabled() ? &EngineMetrics::get().drain_ns : nullptr;
+    obs::Histogram* const barrier_hist =
+        obs::metrics_enabled() ? &EngineMetrics::get().barrier_ns : nullptr;
+    {
+      FACSP_TRACE_SPAN("engine", "epoch");
+      // Parallel drain: share-nothing — each shard touches only its own
+      // driver/policy/outbox, so worker scheduling cannot affect results.
+      pool.parallel_for(shards_.size(), [&](std::size_t i) {
+        obs::ScopedSpan drain("engine", "shard_drain",
+                              static_cast<std::int64_t>(i), drain_hist);
+        shards_[i].driver->advance_until(t_end);
+      });
+      // Serial barrier: routing + batched admission in fixed order.
+      obs::ScopedSpan barrier("engine", "barrier", obs::Tracer::kNoArg,
+                              barrier_hist);
+      route_epoch(t_end);
+    }
     t = t_end;
   }
 

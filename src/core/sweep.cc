@@ -5,6 +5,8 @@
 #include "common/error.h"
 #include "core/config_io.h"
 #include "core/paper.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/thread_pool.h"
 #include "workload/catalog.h"
 
@@ -251,11 +253,22 @@ ResultTable SweepRunner::run(std::vector<CellMetrics>* cells) const {
   // produced, never its value.
   std::vector<CellMetrics> grid(total);
   sim::ThreadPool pool(sim::ThreadPool::resolve_threads(spec_.threads));
+  // Resolved once, outside the fan-out, so cells never touch the registry
+  // mutex; progress/duration recording is a few relaxed atomics per cell.
+  obs::Counter* cells_done = nullptr;
+  obs::Histogram* cell_ns = nullptr;
+  if (obs::metrics_enabled()) {
+    cells_done = &obs::Registry::instance().counter("sweep.cells_done");
+    cell_ns = &obs::Registry::instance().histogram("sweep.cell_ns");
+  }
   pool.parallel_for(total, [&](std::size_t cell) {
+    obs::ScopedSpan span("sweep", "cell", static_cast<std::int64_t>(cell),
+                         cell_ns);
     const ResolvedCell& row = rows_[cell / reps];
     const std::uint64_t r = static_cast<std::uint64_t>(cell % reps);
     grid[cell] =
         CellMetrics::from_run(row.n, r, row.experiment.run_single(row.n, r));
+    if (cells_done != nullptr) cells_done->add(1);
   });
 
   // Phase 2 — reduce serially in (row-major, replication) order: the exact

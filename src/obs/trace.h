@@ -1,0 +1,142 @@
+// Scoped-span tracer emitting Chrome trace-event JSON — the format
+// chrome://tracing and Perfetto load directly (one "X" complete event per
+// span, per-thread tracks, "M" thread-name metadata).
+//
+// Design constraints, in priority order:
+//
+//   1. Disabled is free: Tracer::enabled() is one relaxed atomic load, and
+//      a ScopedSpan on a disabled tracer is that load plus a branch — no
+//      clock read, no store, no allocation.  bench_obs.cc measures both
+//      paths and CI guards them.
+//   2. Recording never allocates in steady state: each thread owns a
+//      fixed-capacity ring buffer (allocated once, on the thread's first
+//      recorded event), and events hold `const char*` category/name — call
+//      sites must pass string literals (or pointers that outlive the
+//      flush).  When a ring fills, new events overwrite the oldest —
+//      tracing long runs is safe, you just keep the tail.
+//   3. Observability never perturbs results: spans read the clock and
+//      write to thread-local buffers, nothing else.  Telemetry CSVs and
+//      ResultTables are byte-identical with tracing on or off (ctest + CI).
+//
+// Threading contract: record()/ScopedSpan/set_thread_name are safe from any
+// thread concurrently (each thread writes only its own ring).
+// start/stop/clear/write_json are control-plane calls — they must not run
+// concurrently with recording threads.  Every call site in this repo calls
+// them strictly before/after the parallel regions (thread pools are joined
+// by then).
+//
+// See docs/observability.md for the span catalogue and a Perfetto how-to.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace facsp::obs {
+
+class Tracer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Sentinel for "no argument" on a span.
+  static constexpr std::int64_t kNoArg = INT64_MIN;
+  /// Events retained per thread (~1.5 MiB/thread at 24 B/event).
+  static constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 16;
+
+  /// Is tracing on?  One relaxed load — THE hot-path check.
+  static bool enabled() noexcept;
+
+  /// Drop any previous events, rebase the clock origin to now and enable
+  /// recording.  `ring_capacity` bounds the events each thread retains.
+  static void start(std::size_t ring_capacity = kDefaultRingCapacity);
+
+  /// Disable recording; buffered events stay available to write_json.
+  static void stop() noexcept;
+
+  /// Disable and drop all events and thread tracks.
+  static void clear();
+
+  /// Name the calling thread's track ("engine-worker-3", ...).  No-op when
+  /// tracing is disabled.  Allocates (registration) — call at thread start,
+  /// not in loops.
+  static void set_thread_name(std::string_view name);
+
+  /// Nanoseconds between the tracer's clock origin and `tp` (0 when `tp`
+  /// precedes the origin).  Lets call sites that already read the clock —
+  /// e.g. the decision server's latency timing — reuse those timestamps.
+  static std::uint64_t to_trace_ns(Clock::time_point tp) noexcept;
+
+  /// Append one complete event to the calling thread's ring.  Drops the
+  /// event (cheaply) when disabled.  `cat`/`name` must outlive write_json —
+  /// pass string literals.
+  static void record(const char* cat, const char* name, std::uint64_t ts_ns,
+                     std::uint64_t dur_ns, std::int64_t arg = kNoArg);
+
+  /// Chrome trace-event JSON of everything currently buffered, all threads,
+  /// events sorted by (ts, tid).  Requires recording quiescence (see the
+  /// threading contract above).
+  static void write_json(std::ostream& os);
+  static void write_json(const std::string& path);
+
+  // --- introspection (tests) -----------------------------------------------
+  /// Events recorded since start(), including ones overwritten on wrap.
+  static std::uint64_t recorded_events();
+  /// Events currently buffered across all tracks (<= tracks * capacity).
+  static std::size_t buffered_events();
+  /// Tracks registered since start() (= threads that recorded or named
+  /// themselves).
+  static std::size_t track_count();
+};
+
+/// RAII span: construction stamps the start, destruction records
+/// [start, now) as one trace event.  Optionally mirrors the duration into
+/// an obs::Histogram (when metrics are enabled), so one clock pair feeds
+/// both the trace and the metrics registry.  With tracing and metrics both
+/// off, constructor and destructor are each a load + branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name,
+             std::int64_t arg = Tracer::kNoArg,
+             Histogram* duration_hist = nullptr) noexcept
+      : cat_(cat), name_(name), arg_(arg) {
+    traced_ = Tracer::enabled();
+    hist_ = (duration_hist != nullptr && metrics_enabled()) ? duration_hist
+                                                            : nullptr;
+    if (traced_ || hist_ != nullptr) start_ = Tracer::Clock::now();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (!traced_ && hist_ == nullptr) return;
+    const Tracer::Clock::time_point end = Tracer::Clock::now();
+    const std::uint64_t dur_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count());
+    if (hist_ != nullptr) hist_->record(dur_ns);
+    if (traced_)
+      Tracer::record(cat_, name_, Tracer::to_trace_ns(start_), dur_ns, arg_);
+  }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  std::int64_t arg_;
+  Histogram* hist_ = nullptr;
+  bool traced_ = false;
+  Tracer::Clock::time_point start_{};
+};
+
+// Convenience for plain block spans: FACSP_TRACE_SPAN("engine", "barrier");
+#define FACSP_OBS_CONCAT2(a, b) a##b
+#define FACSP_OBS_CONCAT(a, b) FACSP_OBS_CONCAT2(a, b)
+#define FACSP_TRACE_SPAN(cat, name) \
+  ::facsp::obs::ScopedSpan FACSP_OBS_CONCAT(facsp_obs_span_, __LINE__)(cat, \
+                                                                       name)
+
+}  // namespace facsp::obs

@@ -12,6 +12,8 @@
 #include "common/expects.h"
 #include "core/config_io.h"
 #include "core/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/thread_pool.h"
 
 namespace facsp::serve {
@@ -53,6 +55,25 @@ struct Expiry {
 struct ExpiryLater {
   bool operator()(const Expiry& a, const Expiry& b) const noexcept {
     return a.at > b.at;
+  }
+};
+
+struct ServeMetrics {
+  obs::Counter& decisions;
+  obs::Counter& admitted;
+  obs::Histogram& batch_fill;
+  obs::Histogram& batch_ns;
+  obs::Gauge& active_sessions;
+
+  static ServeMetrics& get() {
+    static ServeMetrics m{
+        obs::Registry::instance().counter("serve.decisions"),
+        obs::Registry::instance().counter("serve.admitted"),
+        obs::Registry::instance().histogram("serve.batch_fill"),
+        obs::Registry::instance().histogram("serve.batch_ns"),
+        obs::Registry::instance().gauge("serve.active_sessions"),
+    };
+    return m;
   }
 };
 
@@ -181,6 +202,21 @@ void DecisionServer::run_second(Shard& shard, std::int64_t second) {
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
     shard.second_hist.record_n(std::max<std::uint64_t>(1, batch_ns / n), n);
 
+    // Observability reuses the clock pair already read for the latency
+    // histogram — tracing a batch costs no extra clock read.
+    if (obs::Tracer::enabled())
+      obs::Tracer::record("serve", "decide_batch",
+                          obs::Tracer::to_trace_ns(start), batch_ns,
+                          static_cast<std::int64_t>(n));
+    const bool metrics_on = obs::metrics_enabled();
+    if (metrics_on) {
+      ServeMetrics& m = ServeMetrics::get();
+      m.decisions.add(n);
+      m.batch_fill.record(n);
+      m.batch_ns.record(batch_ns);
+    }
+    const std::int64_t admitted_before = row.admitted;
+
     row.queue_depth =
         std::max(row.queue_depth, static_cast<std::int64_t>(n));
     row.decisions += static_cast<std::int64_t>(n);
@@ -214,6 +250,9 @@ void DecisionServer::run_second(Shard& shard, std::int64_t second) {
       else
         (handoff ? row.dropped_handoff : row.blocked_new) += 1;
     }
+    if (metrics_on)
+      ServeMetrics::get().admitted.add(
+          static_cast<std::uint64_t>(row.admitted - admitted_before));
     i = j;
   }
 
@@ -237,12 +276,18 @@ ServerResult DecisionServer::run() {
   for (std::int64_t sec = 0; sec < duration_s_; ++sec) {
     if (pool) {
       pool->parallel_for(shards_.size(), [this, sec](std::size_t s) {
+        obs::ScopedSpan span("serve", "second",
+                             static_cast<std::int64_t>(s));
         run_second(*shards_[s], sec);
       });
     } else {
       // Serial path kept free of std::function so steady-state seconds
       // perform no allocation at threads == 1.
-      for (auto& shard : shards_) run_second(*shard, sec);
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        obs::ScopedSpan span("serve", "second",
+                             static_cast<std::int64_t>(s));
+        run_second(*shards_[s], sec);
+      }
     }
 
     // Fixed-order merge: shard 0, 1, 2, ... regardless of which thread
@@ -258,6 +303,8 @@ ServerResult DecisionServer::run() {
     result.total_decisions += merged.decisions;
     result.total_admitted += merged.admitted;
     result.telemetry.push_back(merged);
+    if (obs::metrics_enabled())
+      ServeMetrics::get().active_sessions.set(merged.active_sessions);
 
     LatencyRow lat;
     lat.window = sec;
@@ -266,6 +313,8 @@ ServerResult DecisionServer::run() {
       lat.p50_ns = second_lat.percentile_ns(0.50);
       lat.p95_ns = second_lat.percentile_ns(0.95);
       lat.p99_ns = second_lat.percentile_ns(0.99);
+      lat.p999_ns = second_lat.percentile_ns(0.999);
+      lat.mean_ns = second_lat.mean_ns();
       lat.max_ns = second_lat.max_ns();
     }
     result.latency.push_back(lat);
@@ -341,10 +390,11 @@ void write_telemetry_csv(const ServerResult& result, const std::string& path) {
 }
 
 void write_latency_csv(const ServerResult& result, std::ostream& os) {
-  os << "second,samples,p50_ns,p95_ns,p99_ns,max_ns\n";
+  os << "second,samples,p50_ns,p95_ns,p99_ns,p999_ns,mean_ns,max_ns\n";
   for (const LatencyRow& r : result.latency) {
     os << r.window << ',' << r.samples << ',' << r.p50_ns << ',' << r.p95_ns
-       << ',' << r.p99_ns << ',' << r.max_ns << '\n';
+       << ',' << r.p99_ns << ',' << r.p999_ns << ','
+       << format_double(r.mean_ns) << ',' << r.max_ns << '\n';
   }
 }
 
@@ -365,11 +415,25 @@ void write_summary_json(const ServerConfig& config, const ServerResult& result,
       news > 0 ? 100.0 * static_cast<double>(blocked) / news : 0.0;
   const double cdp =
       handoffs > 0 ? 100.0 * static_cast<double>(dropped) / handoffs : 0.0;
+#if defined(FACSP_SIMD_ENABLED)
+  const bool simd = true;
+#else
+  const bool simd = false;
+#endif
   os << "{\n"
      << "  \"policy\": \"" << config.policy << "\",\n"
      << "  \"seed\": " << config.scenario.seed << ",\n"
      << "  \"shards\": " << config.shards << ",\n"
      << "  \"threads\": " << config.threads << ",\n"
+     << "  \"metadata\": {\"seed\": " << config.scenario.seed
+     << ", \"policy\": \"" << config.policy << "\", \"scenario\": \""
+     << config.scenario_label << "\", \"shards\": " << config.shards
+     << ", \"threads\": " << config.threads
+     << ", \"simd\": " << (simd ? "true" : "false")
+     << ", \"latency_histogram\": {\"sub_bucket_bits\": "
+     << LatencyHistogram::kSubBucketBits
+     << ", \"max_shift\": " << LatencyHistogram::kMaxShift
+     << ", \"buckets\": " << LatencyHistogram::kBucketCount << "}},\n"
      << "  \"duration_s\": " << result.telemetry.size() << ",\n"
      << "  \"total_decisions\": " << result.total_decisions << ",\n"
      << "  \"total_admitted\": " << result.total_admitted << ",\n"
@@ -383,6 +447,8 @@ void write_summary_json(const ServerConfig& config, const ServerResult& result,
     os << "{\"p50\": " << result.overall.percentile_ns(0.50)
        << ", \"p95\": " << result.overall.percentile_ns(0.95)
        << ", \"p99\": " << result.overall.percentile_ns(0.99)
+       << ", \"p999\": " << result.overall.percentile_ns(0.999)
+       << ", \"mean\": " << format_double(result.overall.mean_ns())
        << ", \"max\": " << result.overall.max_ns() << "}\n";
   } else {
     os << "null\n";

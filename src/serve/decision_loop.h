@@ -70,6 +70,9 @@ struct ServerConfig {
   double batch_window_s = 0.1;
   /// A batch also closes when it reaches this many requests.
   int batch_max = 256;
+  /// Human-readable scenario name for the summary's run-metadata block
+  /// (catalog name or config path; set by the CLI, purely descriptive).
+  std::string scenario_label;
 
   /// Throws facsp::ConfigError on invalid values (`live` adds the
   /// live-mode-only requirements: positive duration and rate).
@@ -84,6 +87,8 @@ struct LatencyRow {
   std::uint64_t p50_ns = 0;
   std::uint64_t p95_ns = 0;
   std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  double mean_ns = 0.0;
   std::uint64_t max_ns = 0;
 };
 
@@ -148,8 +153,8 @@ std::vector<StampedRequest> record_trace(const ServerConfig& config);
 void write_telemetry_csv(const ServerResult& result, std::ostream& os);
 void write_telemetry_csv(const ServerResult& result, const std::string& path);
 
-/// Wall-clock latency CSV (second, samples, p50/p95/p99/max ns).  NOT
-/// byte-stable — never diff this in CI.
+/// Wall-clock latency CSV (second, samples, p50/p95/p99/p99.9/mean/max ns).
+/// NOT byte-stable — never diff this in CI.
 void write_latency_csv(const ServerResult& result, std::ostream& os);
 void write_latency_csv(const ServerResult& result, const std::string& path);
 

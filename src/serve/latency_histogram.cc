@@ -41,6 +41,7 @@ std::uint64_t LatencyHistogram::bucket_upper_bound(std::uint64_t ns) noexcept {
 void LatencyHistogram::record_n(std::uint64_t ns, std::uint64_t n) noexcept {
   counts_[bucket_index(ns)] += n;
   count_ += n;
+  sum_ += ns * n;
   max_ = std::max(max_, ns);
 }
 
@@ -66,12 +67,14 @@ std::uint64_t LatencyHistogram::percentile_ns(double q) const {
 void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
   for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
   count_ += other.count_;
+  sum_ += other.sum_;
   max_ = std::max(max_, other.max_);
 }
 
 void LatencyHistogram::reset() noexcept {
   counts_.fill(0);
   count_ = 0;
+  sum_ = 0;
   max_ = 0;
 }
 

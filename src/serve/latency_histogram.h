@@ -37,6 +37,14 @@ class LatencyHistogram {
   std::uint64_t count() const noexcept { return count_; }
   /// Largest recorded sample, exact (not quantised).
   std::uint64_t max_ns() const noexcept { return max_; }
+  /// Sum of all recorded samples, exact (accumulated before quantisation).
+  std::uint64_t sum_ns() const noexcept { return sum_; }
+  /// Exact arithmetic mean (sum/count); 0 when empty.
+  double mean_ns() const noexcept {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
 
   /// Upper bound of the bucket holding the ceil(q * count)-th smallest
   /// sample (q in [0, 1]; q = 0 reads the smallest).  An upper bound on the
@@ -57,6 +65,7 @@ class LatencyHistogram {
  private:
   std::array<std::uint64_t, kBucketCount> counts_{};
   std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
   std::uint64_t max_ = 0;
 };
 

@@ -1,12 +1,27 @@
 #include "sim/thread_pool.h"
 
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <memory>
 
 #include "common/expects.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace facsp::sim {
+
+namespace {
+
+/// Busy time per executed task: count = tasks run, sum = total busy ns.
+obs::Histogram* task_ns_histogram() {
+  if (!obs::metrics_enabled()) return nullptr;
+  static obs::Histogram& h =
+      obs::Registry::instance().histogram("pool.task_ns");
+  return &h;
+}
+
+}  // namespace
 
 unsigned ThreadPool::resolve_threads(int requested) noexcept {
   if (requested > 0) return static_cast<unsigned>(requested);
@@ -19,7 +34,7 @@ ThreadPool::ThreadPool(unsigned threads)
   if (size_ < 2) return;  // inline mode: no workers, no locking
   workers_.reserve(size_);
   for (unsigned i = 0; i < size_; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -32,7 +47,13 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  // Stack-formatted name: no allocation on this path (and the call is a
+  // branch-only no-op while tracing is off).
+  char name[32];
+  std::snprintf(name, sizeof name, "pool-worker-%u", index);
+  obs::Tracer::set_thread_name(name);
+
   std::unique_lock lock(mu_);
   for (;;) {
     task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -41,7 +62,11 @@ void ThreadPool::worker_loop() {
     queue_.pop_front();
     ++running_;
     lock.unlock();
-    task();
+    {
+      obs::ScopedSpan span("pool", "task", obs::Tracer::kNoArg,
+                           task_ns_histogram());
+      task();
+    }
     lock.lock();
     --running_;
     if (queue_.empty() && running_ == 0) idle_.notify_all();

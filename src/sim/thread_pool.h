@@ -58,7 +58,7 @@ class ThreadPool {
                     std::size_t chunk = 1);
 
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
 
   unsigned size_ = 1;
   std::vector<std::thread> workers_;

@@ -1,0 +1,130 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "serve/latency_histogram.h"
+
+namespace facsp::obs {
+namespace {
+
+TEST(ObsRegistry, FindOrCreateReturnsStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("test.a");
+  Counter& b = reg.counter("test.a");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+
+  reg.gauge("test.g").set(-7);
+  reg.histogram("test.h").record(42);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(ObsRegistry, KindMismatchAndEmptyNameThrow) {
+  Registry reg;
+  reg.counter("metric");
+  EXPECT_THROW(reg.gauge("metric"), ConfigError);
+  EXPECT_THROW(reg.histogram("metric"), ConfigError);
+  EXPECT_THROW(reg.counter(""), ConfigError);
+}
+
+TEST(ObsRegistry, ResetValuesKeepsRegistrations) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.add(5);
+  g.set(9);
+  h.record(100);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(&c, &reg.counter("c"));
+}
+
+TEST(ObsRegistry, SnapshotsAreIndependentOfRegistrationOrder) {
+  // Same metrics, same values, opposite registration order -> identical
+  // bytes.  This is the determinism claim the CLI --metrics flag relies on.
+  Registry forward, backward;
+  const auto fill = [](Registry& reg, bool reversed) {
+    const std::vector<std::string> counters = {"a.count", "z.count"};
+    const std::vector<std::string> hists = {"a.ns", "z.ns"};
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      const std::size_t k = reversed ? counters.size() - 1 - i : i;
+      reg.counter(counters[k]).add(10 + k);
+      reg.histogram(hists[k]).record(100 * (k + 1));
+    }
+    reg.gauge("mid.gauge").set(-4);
+  };
+  fill(forward, false);
+  fill(backward, true);
+
+  std::ostringstream js_f, js_b, csv_f, csv_b;
+  forward.write_json(js_f);
+  backward.write_json(js_b);
+  forward.write_csv(csv_f);
+  backward.write_csv(csv_b);
+  EXPECT_EQ(js_f.str(), js_b.str());
+  EXPECT_EQ(csv_f.str(), csv_b.str());
+  EXPECT_EQ(csv_f.str().find("kind,name,field,value\n"), 0u);
+  EXPECT_NE(js_f.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(js_f.str().find("\"mid.gauge\": -4"), std::string::npos);
+}
+
+TEST(ObsHistogram, CountSumMeanMaxAreExact) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);  // empty must not throw
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(ObsHistogram, GeometryMatchesServeLatencyHistogram) {
+  // The obs histogram must reuse serve::LatencyHistogram's bucket layout
+  // verbatim: identical bucket count and identical quantised percentiles
+  // for identical data, across exact, log-linear and saturated ranges.
+  static_assert(Histogram::kBucketCount ==
+                serve::LatencyHistogram::kBucketCount);
+  Histogram obs_hist;
+  serve::LatencyHistogram serve_hist;
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t v = 0; v < 64; ++v) samples.push_back(v);
+  for (std::uint64_t v = 1; v < (1ull << 42); v = v * 3 + 7)
+    samples.push_back(v);
+  for (const std::uint64_t v : samples) {
+    obs_hist.record(v);
+    serve_hist.record(v);
+  }
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0})
+    EXPECT_EQ(obs_hist.percentile(q), serve_hist.percentile_ns(q)) << q;
+  EXPECT_EQ(obs_hist.count(), serve_hist.count());
+  EXPECT_EQ(obs_hist.max(), serve_hist.max_ns());
+  EXPECT_EQ(obs_hist.sum(), serve_hist.sum_ns());
+}
+
+TEST(ObsMetrics, GlobalSwitchDefaultsOff) {
+  EXPECT_FALSE(metrics_enabled());
+  set_metrics_enabled(true);
+  EXPECT_TRUE(metrics_enabled());
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+}
+
+}  // namespace
+}  // namespace facsp::obs

@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace facsp::obs {
+namespace {
+
+/// Every test leaves the global tracer disabled and empty — the suites
+/// sharing this process (determinism tests in particular) depend on that.
+class ObsTracer : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::clear();
+    set_metrics_enabled(false);
+  }
+};
+
+std::string json_of_current_buffer() {
+  std::ostringstream os;
+  Tracer::write_json(os);
+  return os.str();
+}
+
+TEST_F(ObsTracer, DisabledRecordingIsANoOp) {
+  EXPECT_FALSE(Tracer::enabled());
+  Tracer::record("cat", "name", 0, 10);
+  { ScopedSpan span("cat", "scoped"); }
+  Tracer::set_thread_name("ignored");
+  EXPECT_EQ(Tracer::recorded_events(), 0u);
+  EXPECT_EQ(Tracer::track_count(), 0u);
+  const std::string json = json_of_current_buffer();
+  EXPECT_EQ(json.find("scoped"), std::string::npos);
+}
+
+TEST_F(ObsTracer, NestedSpansRecordInnerFirst) {
+  Tracer::start();
+  {
+    ScopedSpan outer("t", "outer");
+    { ScopedSpan inner("t", "inner", 7); }
+  }
+  Tracer::stop();
+  EXPECT_EQ(Tracer::recorded_events(), 2u);
+
+  const std::string json = json_of_current_buffer();
+  const std::size_t inner = json.find("\"inner\"");
+  const std::size_t outer = json.find("\"outer\"");
+  ASSERT_NE(inner, std::string::npos);
+  ASSERT_NE(outer, std::string::npos);
+  // Events are sorted by start time: the outer span opened first.
+  EXPECT_LT(outer, inner);
+  // The inner span carried its argument.
+  EXPECT_NE(json.find("\"args\": {\"v\": 7}"), std::string::npos);
+  // Perfetto essentials present.
+  for (const char* key : {"\"traceEvents\"", "\"ph\": \"X\"", "\"ts\": ",
+                          "\"dur\": ", "\"pid\": 1"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST_F(ObsTracer, RingBufferWrapsKeepingTheTail) {
+  Tracer::start(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i)
+    Tracer::record("t", i < 6 ? "old" : "new", static_cast<std::uint64_t>(i),
+                   1);
+  Tracer::stop();
+  EXPECT_EQ(Tracer::recorded_events(), 10u);
+  EXPECT_EQ(Tracer::buffered_events(), 4u);
+
+  // Only the last 4 events (6..9, all named "new") survive the wrap.
+  const std::string json = json_of_current_buffer();
+  EXPECT_EQ(json.find("\"old\""), std::string::npos);
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"new\""); pos != std::string::npos;
+       pos = json.find("\"new\"", pos + 1))
+    ++count;
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(ObsTracer, StartDropsPreviousEventsAndRebasesOrigin) {
+  Tracer::start();
+  Tracer::record("t", "first-run", 0, 1);
+  Tracer::start();
+  EXPECT_EQ(Tracer::recorded_events(), 0u);
+  Tracer::record("t", "second-run", 0, 1);
+  Tracer::stop();
+  const std::string json = json_of_current_buffer();
+  EXPECT_EQ(json.find("first-run"), std::string::npos);
+  EXPECT_NE(json.find("second-run"), std::string::npos);
+}
+
+TEST_F(ObsTracer, ThreadNamesBecomeMetadataEvents) {
+  Tracer::start();
+  Tracer::set_thread_name("main-thread");
+  std::thread worker([] {
+    Tracer::set_thread_name("worker-0");
+    Tracer::record("t", "from-worker", 5, 1);
+  });
+  worker.join();
+  Tracer::stop();
+  EXPECT_EQ(Tracer::track_count(), 2u);
+
+  const std::string json = json_of_current_buffer();
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("main-thread"), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+  EXPECT_NE(json.find("from-worker"), std::string::npos);
+}
+
+TEST_F(ObsTracer, TimestampsBeforeTheOriginClampToZero) {
+  const Tracer::Clock::time_point before = Tracer::Clock::now();
+  Tracer::start();
+  EXPECT_EQ(Tracer::to_trace_ns(before), 0u);
+  const Tracer::Clock::time_point after = Tracer::Clock::now();
+  const std::uint64_t ns = Tracer::to_trace_ns(after);
+  EXPECT_GE(Tracer::to_trace_ns(Tracer::Clock::now()), ns);
+}
+
+TEST_F(ObsTracer, ScopedSpanFeedsHistogramWithoutTracing) {
+  // Metrics-only mode: the span records its duration into the histogram
+  // even though the tracer is off, off one shared clock pair.
+  set_metrics_enabled(true);
+  Histogram hist;
+  { ScopedSpan span("t", "timed", Tracer::kNoArg, &hist); }
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(Tracer::recorded_events(), 0u);
+
+  // And with metrics off the histogram is not touched.
+  set_metrics_enabled(false);
+  { ScopedSpan span("t", "timed", Tracer::kNoArg, &hist); }
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST_F(ObsTracer, ConcurrentRecordingIsSafeAndLossless) {
+  // Four threads hammer the tracer at once; per-thread rings make this
+  // race-free (TSan runs this suite in CI).
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 1000;
+  Tracer::start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kEvents; ++i)
+        Tracer::record("load", "event", static_cast<std::uint64_t>(i), 1,
+                       t);
+    });
+  for (std::thread& t : threads) t.join();
+  Tracer::stop();
+  EXPECT_EQ(Tracer::recorded_events(),
+            static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(Tracer::track_count(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(ObsTracer, ConcurrentHistogramRecordingSumsExactly) {
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 2500;
+  Histogram hist;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < kEvents; ++i)
+        hist.record(static_cast<std::uint64_t>(i % 97));
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kEvents);
+  EXPECT_EQ(hist.max(), 96u);
+}
+
+}  // namespace
+}  // namespace facsp::obs

@@ -169,7 +169,9 @@ TEST(DecisionServer, RenderingHasStableShape) {
   std::ostringstream lat;
   write_latency_csv(result, lat);
   const std::string latency = lat.str();
-  EXPECT_EQ(latency.find("second,samples,p50_ns,p95_ns,p99_ns,max_ns\n"), 0u);
+  EXPECT_EQ(latency.find(
+                "second,samples,p50_ns,p95_ns,p99_ns,p999_ns,mean_ns,max_ns\n"),
+            0u);
   EXPECT_EQ(std::count(latency.begin(), latency.end(), '\n'), 1 + 3);
 
   std::ostringstream out;
@@ -177,7 +179,9 @@ TEST(DecisionServer, RenderingHasStableShape) {
   const std::string summary = out.str();
   for (const char* key :
        {"\"policy\"", "\"total_decisions\"", "\"cbp_pct\"", "\"cdp_pct\"",
-        "\"decisions_per_s\"", "\"latency_ns\"", "\"p99\""})
+        "\"decisions_per_s\"", "\"latency_ns\"", "\"p99\"", "\"p999\"",
+        "\"mean\"", "\"metadata\"", "\"scenario\"", "\"simd\"",
+        "\"latency_histogram\"", "\"sub_bucket_bits\""})
     EXPECT_NE(summary.find(key), std::string::npos) << key;
 
   const sim::Figure fig = telemetry_figure(result);

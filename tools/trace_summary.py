@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file and summarise where time went.
+
+The observability layer (``src/obs/trace.h``) emits one complete ("X")
+event per scoped span plus "M" thread-name metadata, in the JSON object
+format Perfetto and chrome://tracing load directly.  This tool is the CI
+gate for that claim: it re-parses the file strictly, rejects anything a
+trace viewer would choke on, and prints a per-category breakdown of the
+recorded time so a regression in coverage (a category that stopped
+emitting) is visible at a glance.
+
+Usage:
+  tools/trace_summary.py run.trace.json
+  tools/trace_summary.py run.trace.json --require-category serve \
+      --require-category fuzzy --min-events 10
+
+Validation rules (exit 1 with a message on the first violation):
+  * top level is an object with a ``traceEvents`` list
+  * every event is an object with a string ``ph`` of "X" or "M"
+  * "X" events carry string ``cat``/``name``, integer ``pid``/``tid``,
+    and non-negative numeric ``ts``/``dur``
+  * "M" events are ``thread_name`` records with an ``args.name`` string
+  * ``--require-category C`` (repeatable) demands >= 1 "X" event of
+    category C; ``--min-events N`` demands >= N "X" events in total
+
+Exit status: 0 when the trace is valid and all requirements hold.
+``--selftest`` runs the built-in unit checks instead (wired as a ctest).
+"""
+
+import argparse
+import json
+import sys
+
+
+class TraceError(Exception):
+    """The file is not a loadable trace-event JSON."""
+
+
+def validate(trace):
+    """Check the parsed JSON against the trace-event format; return the
+    list of "X" events.  Raises TraceError on the first violation."""
+    if not isinstance(trace, dict):
+        raise TraceError("top level must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceError("'traceEvents' must be a list")
+    spans = []
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise TraceError(f"{where}: event must be an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") != "thread_name":
+                raise TraceError(f"{where}: unexpected metadata '{ev.get('name')}'")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                raise TraceError(f"{where}: thread_name needs args.name string")
+            continue
+        if ph != "X":
+            raise TraceError(f"{where}: unsupported phase '{ph}'")
+        for key in ("cat", "name"):
+            if not isinstance(ev.get(key), str) or not ev[key]:
+                raise TraceError(f"{where}: '{key}' must be a non-empty string")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise TraceError(f"{where}: '{key}' must be an integer")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                raise TraceError(f"{where}: '{key}' must be a non-negative number")
+        spans.append(ev)
+    return spans
+
+
+def summarize(spans):
+    """Per-category totals: {cat: (count, total_us, max_us)}."""
+    out = {}
+    for ev in spans:
+        count, total, peak = out.get(ev["cat"], (0, 0.0, 0.0))
+        out[ev["cat"]] = (count + 1, total + ev["dur"], max(peak, ev["dur"]))
+    return out
+
+
+def print_summary(spans, threads, out=sys.stdout):
+    by_cat = summarize(spans)
+    print(f"{len(spans)} span events, {threads} thread tracks", file=out)
+    print(f"{'category':<12} {'events':>8} {'total_ms':>10} {'max_us':>10}",
+          file=out)
+    for cat in sorted(by_cat):
+        count, total, peak = by_cat[cat]
+        print(f"{cat:<12} {count:>8} {total / 1000.0:>10.3f} {peak:>10.1f}",
+              file=out)
+
+
+def check(trace, require_categories=(), min_events=0):
+    """Full validation pipeline; returns the span list."""
+    spans = validate(trace)
+    if len(spans) < min_events:
+        raise TraceError(f"expected >= {min_events} span events, got {len(spans)}")
+    have = {ev["cat"] for ev in spans}
+    for cat in require_categories:
+        if cat not in have:
+            raise TraceError(
+                f"required category '{cat}' has no events "
+                f"(present: {sorted(have) or 'none'})")
+    return spans
+
+
+def selftest():
+    def ok(trace, **kwargs):
+        return check(trace, **kwargs)
+
+    def fails(trace, **kwargs):
+        try:
+            check(trace, **kwargs)
+        except TraceError:
+            return
+        raise AssertionError(f"expected TraceError for {trace!r}")
+
+    span = {"ph": "X", "pid": 1, "tid": 0, "cat": "serve", "name": "second",
+            "ts": 1.5, "dur": 2.25}
+    meta = {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+            "args": {"name": "pool-worker-0"}}
+
+    ok({"traceEvents": []})
+    ok({"traceEvents": [span, meta]})
+    ok({"traceEvents": [span]}, require_categories=["serve"], min_events=1)
+    fails([])                                      # not an object
+    fails({})                                      # no traceEvents
+    fails({"traceEvents": {}})                     # not a list
+    fails({"traceEvents": [42]})                   # event not an object
+    fails({"traceEvents": [dict(span, ph="B")]})   # unsupported phase
+    fails({"traceEvents": [dict(span, cat=7)]})    # cat not a string
+    fails({"traceEvents": [dict(span, name="")]})  # empty name
+    fails({"traceEvents": [dict(span, tid="0")]})  # tid not an int
+    fails({"traceEvents": [dict(span, ts=-1)]})    # negative timestamp
+    fails({"traceEvents": [dict(span, dur=True)]})  # bool is not a duration
+    fails({"traceEvents": [dict(meta, args={})]})  # unnamed thread
+    fails({"traceEvents": [span]}, min_events=2)
+    fails({"traceEvents": [span]}, require_categories=["engine"])
+
+    spans = ok({"traceEvents": [span, span, dict(span, cat="fuzzy")]})
+    by_cat = summarize(spans)
+    assert by_cat["serve"] == (2, 4.5, 2.25), by_cat
+    assert by_cat["fuzzy"] == (1, 2.25, 2.25), by_cat
+
+    print("trace_summary selftest: all checks passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="validate and summarise a Chrome trace-event JSON file")
+    parser.add_argument("trace", nargs="?", help="trace JSON file to check")
+    parser.add_argument("--require-category", action="append", default=[],
+                        metavar="CAT",
+                        help="fail unless >= 1 span of this category exists "
+                             "(repeatable)")
+    parser.add_argument("--min-events", type=int, default=0, metavar="N",
+                        help="fail unless >= N span events exist")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run built-in unit checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if not args.trace:
+        parser.error("a trace file is required (or --selftest)")
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    try:
+        spans = check(trace, args.require_category, args.min_events)
+    except TraceError as e:
+        print(f"error: {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    threads = sum(1 for ev in trace["traceEvents"] if ev.get("ph") == "M")
+    print_summary(spans, threads)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
