@@ -14,6 +14,7 @@
 //   <prefix>_summary.json   totals, throughput, overall percentiles.
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,7 +22,9 @@
 #include "common/error.h"
 #include "core/config_io.h"
 #include "core/experiment.h"
+#include "net/server.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "serve/decision_loop.h"
 #include "workload/catalog.h"
@@ -57,6 +60,23 @@ int usage(const char* argv0, FILE* dst) {
       "  --batch-max <int>        max requests per batch (default 256)\n"
       "  --seed <u64>             override the scenario seed\n"
       "\n"
+      "Network front-end (see docs/serving.md):\n"
+      "  --listen <port>          serve admission requests over TCP instead\n"
+      "                           of generating/replaying in-process\n"
+      "                           (length-prefixed binary frames; 0 binds\n"
+      "                           an ephemeral port and prints it)\n"
+      "  --telemetry-port <port>  plaintext scrape endpoint (latest\n"
+      "                           telemetry row + metrics registry)\n"
+      "  --host <addr>            bind address (default 127.0.0.1)\n"
+      "  --pending-cap <n>        max undecided requests before drop-oldest\n"
+      "                           shedding (default 8192)\n"
+      "  --flush-idle <s>         close open batches after this much\n"
+      "                           wall-clock quiet (default 0.05)\n"
+      "  --io-timeout <s>         per-connection read/write timeout\n"
+      "                           (default 30)\n"
+      "  --idle-timeout <s>       reap silent connections (default 300)\n"
+      "  --poll-backend <name>    epoll | poll (default: epoll on Linux)\n"
+      "\n"
       "Output:\n"
       "  --out <prefix>           file prefix (default 'server')\n"
       "  --table                  also print the per-second table\n"
@@ -64,6 +84,9 @@ int usage(const char* argv0, FILE* dst) {
       "                           run (open in Perfetto / chrome://tracing)\n"
       "  --metrics <file>         write a metrics snapshot after the run\n"
       "                           (.csv suffix -> CSV, otherwise JSON)\n"
+      "  --metrics-interval <s>   also flush the registry to --metrics\n"
+      "                           every this many simulated seconds (CSV,\n"
+      "                           tmp+rename; survives a crash)\n"
       "  --help                   this message\n",
       argv0);
   return dst == stderr ? 2 : 0;
@@ -111,9 +134,19 @@ int run(int argc, char** argv) {
   std::string out_prefix = "server";
   std::string trace_path;
   std::string metrics_path;
+  long long metrics_interval = 0;
   bool print_table = false;
   bool duration_given = false;
   bool scenario_named = false;
+
+  std::optional<int> listen_port;
+  std::optional<int> telemetry_port;
+  std::optional<std::string> host;
+  std::optional<int> pending_cap;
+  std::optional<double> flush_idle;
+  std::optional<double> io_timeout;
+  std::optional<double> idle_timeout;
+  std::optional<std::string> poll_backend;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -160,6 +193,25 @@ int run(int argc, char** argv) {
       trace_path = value("--trace");
     else if (arg == "--metrics")
       metrics_path = value("--metrics");
+    else if (arg == "--metrics-interval")
+      metrics_interval = parse_int(value("--metrics-interval"),
+                                   "--metrics-interval");
+    else if (arg == "--listen")
+      listen_port = parse_int(value("--listen"), "--listen");
+    else if (arg == "--telemetry-port")
+      telemetry_port = parse_int(value("--telemetry-port"), "--telemetry-port");
+    else if (arg == "--host")
+      host = value("--host");
+    else if (arg == "--pending-cap")
+      pending_cap = parse_int(value("--pending-cap"), "--pending-cap");
+    else if (arg == "--flush-idle")
+      flush_idle = parse_double(value("--flush-idle"), "--flush-idle");
+    else if (arg == "--io-timeout")
+      io_timeout = parse_double(value("--io-timeout"), "--io-timeout");
+    else if (arg == "--idle-timeout")
+      idle_timeout = parse_double(value("--idle-timeout"), "--idle-timeout");
+    else if (arg == "--poll-backend")
+      poll_backend = value("--poll-backend");
     else if (arg == "--table")
       print_table = true;
     else {
@@ -170,6 +222,23 @@ int run(int argc, char** argv) {
   if (seed_override) config.scenario.seed = *seed_override;
   if (!scenario_named) config.scenario_label = "paper-grid";
 
+  if (!listen_port) {
+    const char* stray = telemetry_port ? "--telemetry-port"
+                       : host          ? "--host"
+                       : pending_cap   ? "--pending-cap"
+                       : flush_idle    ? "--flush-idle"
+                       : io_timeout    ? "--io-timeout"
+                       : idle_timeout  ? "--idle-timeout"
+                       : poll_backend  ? "--poll-backend"
+                                       : nullptr;
+    if (stray)
+      throw ConfigError(std::string(stray) + " requires --listen");
+  }
+  if (metrics_interval < 0)
+    throw ConfigError("--metrics-interval must be >= 1");
+  if (metrics_interval > 0 && metrics_path.empty())
+    throw ConfigError("--metrics-interval requires --metrics <file>");
+
   // Validate the policy name before the (possibly long) trace load.
   (void)core::policy_factory_by_name(config.policy);
 
@@ -178,12 +247,84 @@ int run(int argc, char** argv) {
   if (!metrics_path.empty()) obs::set_metrics_enabled(true);
   if (!trace_path.empty()) obs::Tracer::start();
 
+  if (listen_port) {
+    if (replay_path)
+      throw ConfigError(
+          "--listen and --replay are exclusive: in listen mode the trace "
+          "arrives over the socket (see tools/net_loadgen --trace)");
+    net::NetConfig net;
+    net.port = *listen_port;
+    if (telemetry_port) net.telemetry_port = *telemetry_port;
+    if (host) net.host = *host;
+    if (pending_cap) net.pending_cap = static_cast<std::size_t>(*pending_cap);
+    if (flush_idle) net.flush_idle_s = *flush_idle;
+    if (io_timeout) {
+      net.read_timeout_s = *io_timeout;
+      net.write_timeout_s = *io_timeout;
+    }
+    if (idle_timeout) net.idle_timeout_s = *idle_timeout;
+    if (poll_backend) {
+      if (*poll_backend == "epoll")
+        net.backend = net::PollBackend::kEpoll;
+      else if (*poll_backend == "poll")
+        net.backend = net::PollBackend::kPoll;
+      else
+        throw ConfigError("bad --poll-backend '" + *poll_backend +
+                          "' (epoll | poll)");
+    }
+    net.metrics_interval_s = metrics_interval;
+    net.metrics_path = metrics_path;
+    // The scrape endpoint serves the registry; count even without --metrics.
+    obs::set_metrics_enabled(true);
+
+    net::NetServer server(config, net);
+    net::NetServer::route_signals(&server);
+    std::printf("listening on %s:%u (admission)", net.host.c_str(),
+                server.admission_port());
+    if (net.telemetry_port >= 0)
+      std::printf(", %s:%u (telemetry)", net.host.c_str(),
+                  server.telemetry_port());
+    std::printf("\npolicy %s, %d shards, batch %g s / %d max, pending cap "
+                "%zu; SIGINT/SIGTERM drains\n",
+                config.policy.c_str(), config.shards, config.batch_window_s,
+                config.batch_max, net.pending_cap);
+    std::fflush(stdout);
+    server.run();
+    net::NetServer::route_signals(nullptr);
+
+    if (!trace_path.empty()) {
+      obs::Tracer::stop();
+      obs::Tracer::write_json(trace_path);
+    }
+    if (!metrics_path.empty()) obs::write_snapshot(metrics_path);
+
+    const serve::ServerResult result = server.result();
+    serve::write_telemetry_csv(result, out_prefix + "_telemetry.csv");
+    serve::write_latency_csv(result, out_prefix + "_latency.csv");
+    serve::write_summary_json(config, result, out_prefix + "_summary.json");
+    if (print_table) serve::telemetry_figure(result).print_table(std::cout);
+    serve::write_summary_json(config, result, std::cout);
+    std::printf("wrote %s_telemetry.csv, %s_latency.csv, %s_summary.json\n",
+                out_prefix.c_str(), out_prefix.c_str(), out_prefix.c_str());
+    return 0;
+  }
+
+  std::unique_ptr<obs::SnapshotWriter> snapshots;
+  if (metrics_interval > 0)
+    snapshots = std::make_unique<obs::SnapshotWriter>(
+        metrics_path, metrics_interval, obs::Registry::instance());
+
   serve::ServerResult result;
   if (replay_path) {
     if (!duration_given) config.duration_s = 0;  // derive from the trace
     std::vector<serve::StampedRequest> trace =
         serve::read_trace_file(*replay_path);
     serve::DecisionServer server(config, std::move(trace));
+    if (snapshots)
+      server.set_second_hook([&snapshots](std::int64_t sec,
+                                          const serve::TelemetryRow&) {
+        snapshots->on_second(sec);
+      });
     std::printf("replaying %s: %lld s, policy %s, %d shards, %d threads\n",
                 replay_path->c_str(),
                 static_cast<long long>(server.duration_s()),
@@ -191,6 +332,11 @@ int run(int argc, char** argv) {
     result = server.run();
   } else {
     serve::DecisionServer server(config);
+    if (snapshots)
+      server.set_second_hook([&snapshots](std::int64_t sec,
+                                          const serve::TelemetryRow&) {
+        snapshots->on_second(sec);
+      });
     std::printf(
         "serving live: %lld s at %d req/s, policy %s, %d shards, %d "
         "threads, seed %llu\n",
@@ -206,7 +352,11 @@ int run(int argc, char** argv) {
     std::printf("wrote trace %s (%llu events)\n", trace_path.c_str(),
                 static_cast<unsigned long long>(obs::Tracer::recorded_events()));
   }
-  if (!metrics_path.empty()) {
+  if (snapshots) {
+    snapshots->flush();
+    std::printf("wrote metrics %s (%llu snapshots)\n", metrics_path.c_str(),
+                static_cast<unsigned long long>(snapshots->flush_count()));
+  } else if (!metrics_path.empty()) {
     obs::write_snapshot(metrics_path);
     std::printf("wrote metrics %s\n", metrics_path.c_str());
   }

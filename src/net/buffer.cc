@@ -1,0 +1,34 @@
+#include "net/buffer.h"
+
+#include <cstring>
+
+namespace facsp::net {
+
+void ByteQueue::compact() noexcept {
+  if (head_ == 0) return;
+  const std::size_t n = size();
+  if (n > 0) std::memmove(buf_.data(), buf_.data() + head_, n);
+  head_ = 0;
+  tail_ = n;
+}
+
+bool ByteQueue::append(const std::uint8_t* data, std::size_t n) {
+  if (n > free_space()) return false;
+  if (buf_.size() - tail_ < n) compact();
+  std::memcpy(buf_.data() + tail_, data, n);
+  tail_ += n;
+  return true;
+}
+
+void ByteQueue::consume(std::size_t n) noexcept {
+  head_ += n;
+  if (head_ == tail_) head_ = tail_ = 0;  // cheap reset to the front
+}
+
+std::uint8_t* ByteQueue::reserve(std::size_t n) noexcept {
+  if (free_space() == 0) return nullptr;
+  if (buf_.size() - tail_ < n) compact();
+  return buf_.data() + tail_;
+}
+
+}  // namespace facsp::net

@@ -1,0 +1,51 @@
+// Bounded byte queue for connection I/O.
+//
+// A flat buffer with head/tail cursors: the readable region is always
+// contiguous (frame decoding never straddles a wrap), appends compact with
+// one memmove when the tail hits capacity, and capacity is fixed at
+// construction — the queue never reallocates after that, which is what
+// keeps the socket serve path allocation-free and gives backpressure a
+// hard edge: append() refuses bytes that don't fit instead of growing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace facsp::net {
+
+class ByteQueue {
+ public:
+  explicit ByteQueue(std::size_t capacity) : buf_(capacity) {}
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t size() const noexcept { return tail_ - head_; }
+  bool empty() const noexcept { return head_ == tail_; }
+  std::size_t free_space() const noexcept { return capacity() - size(); }
+
+  /// Append `n` bytes; returns false (and appends nothing) when they do
+  /// not fit — all-or-nothing, so a frame is never half-queued.
+  bool append(const std::uint8_t* data, std::size_t n);
+
+  /// Contiguous readable region.
+  const std::uint8_t* data() const noexcept { return buf_.data() + head_; }
+  void consume(std::size_t n) noexcept;
+
+  /// Writable tail region for readv-style fills: reserve(n) compacts if
+  /// needed and returns a pointer to >= min(n, free_space()) bytes (null
+  /// when the queue is full); commit(k) publishes k bytes written there.
+  std::uint8_t* reserve(std::size_t n) noexcept;
+  std::size_t writable() const noexcept { return free_space(); }
+  void commit(std::size_t n) noexcept { tail_ += n; }
+
+  void clear() noexcept { head_ = tail_ = 0; }
+
+ private:
+  void compact() noexcept;
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace facsp::net

@@ -1,0 +1,55 @@
+// Readiness polling behind one interface: epoll on Linux, poll(2)
+// everywhere.  Both backends are level-triggered — the event loop re-arms
+// nothing and simply drains what it can each pass; a fd with unread bytes
+// or writable space reports ready again on the next wait.
+//
+// The poll backend is not merely a portability fallback: the test suite
+// runs every event-loop test against BOTH backends on Linux, so the
+// portable path stays correct instead of rotting behind the #ifdef.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace facsp::net {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup.  The owner should read (to collect a pending error or
+  /// EOF) and close.
+  bool error = false;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Register `fd` with the given interest set.  fd must not already be
+  /// registered.
+  virtual void add(int fd, bool read, bool write) = 0;
+  /// Change the interest set of a registered fd.
+  virtual void modify(int fd, bool read, bool write) = 0;
+  /// Deregister; must be called before the fd is closed.
+  virtual void remove(int fd) = 0;
+
+  /// Wait up to timeout_ms (-1 = forever) and fill `out` (cleared first)
+  /// with ready fds.  Returns the event count; EINTR reports as 0 events.
+  virtual std::size_t wait(int timeout_ms, std::vector<PollEvent>& out) = 0;
+
+  virtual const char* name() const noexcept = 0;
+};
+
+enum class PollBackend {
+  kAuto,   ///< epoll where available, else poll
+  kEpoll,  ///< throws facsp::ConfigError when the platform lacks epoll
+  kPoll,
+};
+
+bool epoll_available() noexcept;
+
+std::unique_ptr<Poller> make_poller(PollBackend backend = PollBackend::kAuto);
+
+}  // namespace facsp::net

@@ -1,0 +1,130 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace facsp::net {
+
+namespace {
+
+std::string describe(const std::string& op, const std::string& target,
+                     int err) {
+  std::string s = op;
+  if (!target.empty()) s += " " + target;
+  s += ": ";
+  s += std::strerror(err);
+  return s;
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("resolve", host, EINVAL);
+  return addr;
+}
+
+}  // namespace
+
+SocketError::SocketError(const std::string& op, const std::string& target,
+                         int err)
+    : Error(describe(op, target, err)), err_(err) {}
+
+void UniqueFd::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw SocketError("fcntl(O_NONBLOCK)", "", errno);
+}
+
+UniqueFd listen_tcp(const std::string& host, std::uint16_t port,
+                    int backlog) {
+  const std::string target = host + ":" + std::to_string(port);
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw SocketError("socket", target, errno);
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+    throw SocketError("setsockopt(SO_REUSEADDR)", target, errno);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    throw SocketError("bind", target, errno);
+  if (::listen(fd.get(), backlog) < 0)
+    throw SocketError("listen", target, errno);
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    throw SocketError("getsockname", "", errno);
+  return ntohs(addr.sin_port);
+}
+
+UniqueFd accept_conn(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED)
+      return UniqueFd();
+    throw SocketError("accept", "", errno);
+  }
+  UniqueFd conn(fd);
+  // A client that died between accept and setup must not kill the server:
+  // setup failures surface as "no connection" and the fd closes.
+  try {
+    set_nonblocking(fd);
+  } catch (const SocketError&) {
+    return UniqueFd();
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port) {
+  const std::string target = host + ":" + std::to_string(port);
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw SocketError("socket", target, errno);
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0)
+    throw SocketError("connect", target, errno);
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) throw SocketError("pipe", "", errno);
+  read_end = UniqueFd(fds[0]);
+  write_end = UniqueFd(fds[1]);
+  set_nonblocking(fds[0]);
+  set_nonblocking(fds[1]);
+}
+
+void WakePipe::poke() noexcept {
+  const char b = 1;
+  [[maybe_unused]] const ssize_t n = ::write(write_end.get(), &b, 1);
+}
+
+void WakePipe::drain() noexcept {
+  char buf[64];
+  while (::read(read_end.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace facsp::net

@@ -1,0 +1,85 @@
+// Thin POSIX TCP helpers: bind/listen/accept/connect with errno carried
+// into typed exceptions (the CLI prints `strerror(errno)` and exits
+// nonzero instead of an unhandled throw), an RAII fd, and the nonblocking
+// / NODELAY setup every event-loop socket needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace facsp::net {
+
+/// A socket-layer failure; `what()` is "<op> <target>: <strerror(errno)>".
+class SocketError : public Error {
+ public:
+  SocketError(const std::string& op, const std::string& target, int err);
+  int code() const noexcept { return err_; }
+
+ private:
+  int err_;
+};
+
+/// Owns a file descriptor; closes on destruction.  Movable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& o) noexcept : fd_(o.release()) {}
+  UniqueFd& operator=(UniqueFd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Nonblocking listening socket on host:port (SO_REUSEADDR; port 0 binds an
+/// ephemeral port — read it back with local_port).  Throws SocketError.
+UniqueFd listen_tcp(const std::string& host, std::uint16_t port, int backlog);
+
+/// The port a bound socket actually landed on.
+std::uint16_t local_port(int fd);
+
+/// Accept one connection: nonblocking + TCP_NODELAY applied.  Returns an
+/// invalid fd when the accept queue is empty (EAGAIN); throws SocketError
+/// on real failures (except the transient per-connection ones, which
+/// report as empty too — the listener must survive a client that vanished
+/// between accept and setup).
+UniqueFd accept_conn(int listen_fd);
+
+/// Blocking client connect (loadgen, tests).  TCP_NODELAY applied.
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port);
+
+void set_nonblocking(int fd);
+
+/// A pipe whose write end is async-signal-safe to poke: signal handlers
+/// and other threads write one byte, the event loop polls the read end.
+struct WakePipe {
+  WakePipe();
+  UniqueFd read_end;
+  UniqueFd write_end;
+  /// Signal-safe: a failed/partial write is ignored (pipe already full is
+  /// fine — one pending byte is enough to wake the loop).
+  void poke() noexcept;
+  void drain() noexcept;
+};
+
+}  // namespace facsp::net

@@ -1,0 +1,59 @@
+#include "obs/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace facsp::obs {
+
+SnapshotWriter::SnapshotWriter(std::string path, std::int64_t interval_s,
+                               Registry& registry)
+    : path_(std::move(path)), interval_s_(interval_s), registry_(registry) {
+  if (interval_s_ < 1)
+    throw ConfigError("snapshot: interval must be >= 1 second");
+}
+
+void SnapshotWriter::on_second(std::int64_t second) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // First interval is anchored at second 0: with interval 5 the flushes
+  // land after seconds 4, 9, 14, ... regardless of when the writer was
+  // constructed.
+  if ((second + 1) % interval_s_ != 0) return;
+  if (second <= last_flush_) return;
+  last_flush_ = second;
+  flush_locked();
+}
+
+void SnapshotWriter::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void SnapshotWriter::flush_locked() {
+  std::ostringstream os;
+  registry_.write_csv(os);
+  buffer_ = os.str();
+  ++flushes_;
+  if (path_.empty()) return;
+  // tmp + rename: a crash mid-write leaves the previous complete snapshot
+  // in place, never a torn file.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) throw Error("snapshot: cannot open '" + tmp + "' for writing");
+    f << buffer_;
+    if (!f) throw Error("snapshot: failed writing '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+    throw Error("snapshot: cannot rename '" + tmp + "' to '" + path_ + "'");
+}
+
+std::string SnapshotWriter::latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_;
+}
+
+}  // namespace facsp::obs

@@ -1,0 +1,68 @@
+// Periodic metrics snapshots for long-lived serves.
+//
+// The Registry (metrics.h) snapshots byte-stably but, left to the CLI
+// flags, only at process exit — a multi-hour serve that crashes loses
+// everything.  SnapshotWriter flushes the registry every N completed
+// seconds: each flush rewrites the snapshot file (tmp + rename, so a
+// crash mid-write never leaves a torn file) and retains the rendered
+// bytes in memory, which is what the telemetry scrape endpoint
+// (src/net/) serves without touching the filesystem.
+//
+// Driving it is the caller's job — it has no thread and no timer.  The
+// decision server invokes on_second() from its per-second hook
+// (simulated time); the socket front-end invokes it from the event loop
+// (wall time).  Either way flushes happen on one thread at a time;
+// latest() may be called concurrently (both take the same mutex).
+//
+// Values in the snapshot are cumulative since process start (registry
+// semantics), not per-interval deltas: consumers diff consecutive
+// snapshots if they want rates, and a partially-served run keeps at
+// most `interval` seconds of unflushed tail.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace facsp::obs {
+
+class Registry;
+
+class SnapshotWriter {
+ public:
+  /// Flush `registry` to `path` every `interval_s` completed seconds.
+  /// `path` empty -> never writes a file (the in-memory buffer still
+  /// updates; the scrape endpoint uses this mode).  interval_s must be
+  /// >= 1 (throws facsp::ConfigError otherwise).
+  SnapshotWriter(std::string path, std::int64_t interval_s,
+                 Registry& registry);
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Notify that second `second` completed; flushes when a full interval
+  /// has elapsed since the last flush.  Seconds must be nondecreasing.
+  void on_second(std::int64_t second);
+
+  /// Render + write unconditionally (run end, graceful drain).
+  void flush();
+
+  /// The last rendered snapshot (empty before the first flush).  Returns
+  /// a copy; the scrape path appends it to a connection buffer anyway.
+  std::string latest() const;
+
+  std::uint64_t flush_count() const noexcept { return flushes_; }
+
+ private:
+  void flush_locked();
+
+  std::string path_;
+  std::int64_t interval_s_;
+  Registry& registry_;
+  mutable std::mutex mu_;
+  std::string buffer_;            ///< last rendered snapshot (CSV bytes)
+  std::int64_t last_flush_ = -1;  ///< second of the most recent flush
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace facsp::obs

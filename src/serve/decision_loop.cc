@@ -46,18 +46,6 @@ int shard_rate(int total, int shard, int shards) {
   return total / shards + (shard < total % shards ? 1 : 0);
 }
 
-struct Expiry {
-  double at = 0.0;
-  cellular::ConnectionId id = 0;
-  cellular::ServiceClass service = cellular::ServiceClass::kText;
-};
-
-struct ExpiryLater {
-  bool operator()(const Expiry& a, const Expiry& b) const noexcept {
-    return a.at > b.at;
-  }
-};
-
 struct ServeMetrics {
   obs::Counter& decisions;
   obs::Counter& admitted;
@@ -77,35 +65,165 @@ struct ServeMetrics {
   }
 };
 
+struct ExpiryLater {
+  template <typename E>
+  bool operator()(const E& a, const E& b) const noexcept {
+    return a.at > b.at;
+  }
+};
+
 }  // namespace
 
+// --- ShardCore -------------------------------------------------------------
+
+ShardCore::ShardCore(const ServerConfig& config, int shard_index)
+    : rng_(sim::hash_seed(config.scenario.seed, "serve-cell",
+                          static_cast<std::uint64_t>(shard_index))),
+      batch_window_s_(config.batch_window_s),
+      batch_max_(config.batch_max) {
+  net_ = std::make_unique<cellular::CellularNetwork>(
+      config.scenario.rings, config.scenario.cell_radius_m,
+      config.scenario.capacity_bu);
+  policy_ = core::policy_factory_by_name(config.policy)(*net_, rng_);
+  // Steady-state reservations: sessions are bounded by the cell capacity
+  // (allocate() only succeeds while bandwidth fits), batches by batch_max.
+  expiries_.reserve(static_cast<std::size_t>(config.scenario.capacity_bu) +
+                    16);
+  decisions_.reserve(static_cast<std::size_t>(config.batch_max));
+}
+
+void ShardCore::expire_until(double t, bool strict) {
+  cellular::BaseStation& bs = net_->center();
+  while (!expiries_.empty() &&
+         (strict ? expiries_.front().at < t : expiries_.front().at <= t)) {
+    std::pop_heap(expiries_.begin(), expiries_.end(), ExpiryLater{});
+    const Expiry e = expiries_.back();
+    expiries_.pop_back();
+    bs.release(e.id, e.at);
+    policy_->on_released(e.id, e.service, bs);
+  }
+}
+
+std::span<const cac::AdmissionDecision> ShardCore::process_batch(
+    std::span<const cac::AdmissionRequest> batch,
+    std::span<const double> holding_s) {
+  FACSP_EXPECTS(!batch.empty());
+  FACSP_EXPECTS(batch.size() == holding_s.size());
+  const double t0 = batch.front().now;
+  const std::int64_t sec = static_cast<std::int64_t>(std::floor(t0));
+  FACSP_EXPECTS(sec >= current_second_);
+  if (sec != current_second_) {
+    second_hist_.reset();
+    current_second_ = sec;
+  }
+  TelemetryRow& row = window_.row_for(sec);
+  cellular::BaseStation& bs = net_->center();
+  const std::size_t n = batch.size();
+
+  // Free the bandwidth of calls that ended before this batch arrived, so
+  // the policy sees the current load.
+  expire_until(t0, /*strict=*/false);
+
+  decisions_.resize(n);
+
+  const auto start = std::chrono::steady_clock::now();
+  policy_->decide_batch(batch, bs, decisions_);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const std::uint64_t batch_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  second_hist_.record_n(std::max<std::uint64_t>(1, batch_ns / n), n);
+
+  // Observability reuses the clock pair already read for the latency
+  // histogram — tracing a batch costs no extra clock read.
+  if (obs::Tracer::enabled())
+    obs::Tracer::record("serve", "decide_batch", obs::Tracer::to_trace_ns(start),
+                        batch_ns, static_cast<std::int64_t>(n));
+  const bool metrics_on = obs::metrics_enabled();
+  if (metrics_on) {
+    ServeMetrics& m = ServeMetrics::get();
+    m.decisions.add(n);
+    m.batch_fill.record(n);
+    m.batch_ns.record(batch_ns);
+  }
+  const std::int64_t admitted_before = row.admitted;
+
+  row.queue_depth = std::max(row.queue_depth, static_cast<std::int64_t>(n));
+  row.decisions += static_cast<std::int64_t>(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const cac::AdmissionRequest& req = batch[k];
+    const bool handoff = req.kind == cellular::RequestKind::kHandoff;
+    (handoff ? row.handoff_attempts : row.new_attempts) += 1;
+
+    bool admitted = decisions_[k].admitted;
+    if (admitted) {
+      // decide_batch scores requests as-if independent; re-check physical
+      // capacity at apply time and demote over-admissions.
+      cellular::Connection conn;
+      conn.id = req.id;
+      conn.service = req.service;
+      conn.bandwidth = req.bandwidth;
+      conn.priority = req.priority;
+      conn.origin = req.kind;
+      admitted = bs.allocate(conn, req.now, /*via_handoff=*/handoff);
+      if (admitted) {
+        policy_->on_admitted(req, bs);
+        expiries_.push_back({req.now + holding_s[k], req.id, req.service});
+        std::push_heap(expiries_.begin(), expiries_.end(), ExpiryLater{});
+      } else {
+        decisions_[k].admitted = false;  // demotion visible to the caller
+      }
+    }
+    if (admitted)
+      ++row.admitted;
+    else
+      (handoff ? row.dropped_handoff : row.blocked_new) += 1;
+  }
+  if (metrics_on)
+    ServeMetrics::get().admitted.add(
+        static_cast<std::uint64_t>(row.admitted - admitted_before));
+  return {decisions_.data(), n};
+}
+
+void ShardCore::finish_second(std::int64_t second) {
+  FACSP_EXPECTS(second >= current_second_);
+  if (second != current_second_) {
+    second_hist_.reset();  // no batches this second: the histogram is empty
+    current_second_ = second;
+  }
+  TelemetryRow& row = window_.row_for(second);
+  // Calls ending in this second's tail (strict <: a release exactly on the
+  // window edge belongs to the next window).
+  expire_until(static_cast<double>(second + 1), /*strict=*/true);
+  row.active_sessions = static_cast<std::int64_t>(expiries_.size());
+}
+
+std::size_t batch_end(std::span<const cac::AdmissionRequest> arrivals,
+                      std::size_t i, double batch_window_s,
+                      int batch_max) noexcept {
+  // The batch opens at the first buffered arrival and closes at the next
+  // batching-window boundary (or at batch_max requests, or at the end of
+  // the arrival's simulated second).
+  const double t0 = arrivals[i].now;
+  const double second_end = std::floor(t0) + 1.0;
+  const double close = std::min(
+      second_end, (std::floor(t0 / batch_window_s) + 1.0) * batch_window_s);
+  std::size_t j = i + 1;
+  while (j < arrivals.size() && j - i < static_cast<std::size_t>(batch_max) &&
+         arrivals[j].now < close)
+    ++j;
+  return j;
+}
+
 struct DecisionServer::Shard {
-  std::unique_ptr<cellular::CellularNetwork> net;
-  sim::RngFactory rng;
-  std::unique_ptr<cac::AdmissionPolicy> policy;
+  ShardCore core;
   std::unique_ptr<RequestStream> stream;
-  RollingWindow window;
-  LatencyHistogram second_hist;  ///< reset at each second's start
-  std::vector<Expiry> expiries;  ///< min-heap on `at`
   /// Parallel per-second arrival arrays (contiguous so batches are plain
   /// sub-spans of `arrivals` — no per-batch request copy).
   std::vector<cac::AdmissionRequest> arrivals;
   std::vector<double> holdings;
-  std::vector<cac::AdmissionDecision> decisions;
 
-  explicit Shard(std::uint64_t seed) : rng(seed) {}
-
-  void expire_until(double t, bool strict) {
-    cellular::BaseStation& bs = net->center();
-    while (!expiries.empty() &&
-           (strict ? expiries.front().at < t : expiries.front().at <= t)) {
-      std::pop_heap(expiries.begin(), expiries.end(), ExpiryLater{});
-      const Expiry e = expiries.back();
-      expiries.pop_back();
-      bs.release(e.id, e.at);
-      policy->on_released(e.id, e.service, bs);
-    }
-  }
+  Shard(const ServerConfig& config, int index) : core(config, index) {}
 };
 
 DecisionServer::DecisionServer(const ServerConfig& config) : config_(config) {
@@ -130,136 +248,48 @@ DecisionServer::DecisionServer(const ServerConfig& config,
 DecisionServer::~DecisionServer() = default;
 
 void DecisionServer::build_shards() {
-  const core::PolicyFactory factory =
-      core::policy_factory_by_name(config_.policy);
+  // Validate the policy name once up front (ShardCore resolves it again per
+  // shard; the registry lookup is cheap and pure).
+  (void)core::policy_factory_by_name(config_.policy);
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
-    auto shard = std::make_unique<Shard>(sim::hash_seed(
-        config_.scenario.seed, "serve-cell", static_cast<std::uint64_t>(s)));
-    shard->net = std::make_unique<cellular::CellularNetwork>(
-        config_.scenario.rings, config_.scenario.cell_radius_m,
-        config_.scenario.capacity_bu);
-    shard->policy = factory(*shard->net, shard->rng);
+    auto shard = std::make_unique<Shard>(config_, s);
     if (replay_) {
       shard->stream = std::make_unique<TraceReplayStream>(trace_, s,
                                                           config_.shards);
     } else {
+      // RngFactory derives streams purely from (master seed, name), so a
+      // factory rebuilt with the shard's seed hands the stream exactly the
+      // draws it always received.
+      const sim::RngFactory rng(sim::hash_seed(
+          config_.scenario.seed, "serve-cell", static_cast<std::uint64_t>(s)));
+      const cellular::CellularNetwork& net = shard->core.network();
       shard->stream = std::make_unique<WorkloadRequestStream>(
-          config_.scenario.traffic, shard->net->layout(),
-          shard->net->center().position(), config_.scenario.predictor,
-          config_.handoff_fraction,
-          shard_rate(config_.requests_per_s, s, config_.shards), shard->rng,
+          config_.scenario.traffic, net.layout(), net.center().position(),
+          config_.scenario.predictor, config_.handoff_fraction,
+          shard_rate(config_.requests_per_s, s, config_.shards), rng,
           kShardIdStride * static_cast<cellular::ConnectionId>(s + 1) + 1);
     }
-    // Steady-state reservations: sessions are bounded by the cell capacity
-    // (allocate() only succeeds while bandwidth fits), batches by batch_max,
-    // and the per-second arrival scratch by the shard's rate.
-    shard->expiries.reserve(
-        static_cast<std::size_t>(config_.scenario.capacity_bu) + 16);
-    shard->decisions.reserve(static_cast<std::size_t>(config_.batch_max));
-    shard->window.reserve_windows(static_cast<std::size_t>(duration_s_));
+    shard->core.reserve_windows(static_cast<std::size_t>(duration_s_));
     shards_.push_back(std::move(shard));
   }
 }
 
 void DecisionServer::run_second(Shard& shard, std::int64_t second) {
-  shard.second_hist.reset();
   shard.arrivals.clear();
   shard.holdings.clear();
   shard.stream->next_second(second, shard.arrivals, shard.holdings);
-  TelemetryRow& row = shard.window.row_for(second);
-  cellular::BaseStation& bs = shard.net->center();
-
-  const double second_end = static_cast<double>(second + 1);
   std::size_t i = 0;
   while (i < shard.arrivals.size()) {
-    // The batch opens at the first buffered arrival and closes at the next
-    // batching-window boundary (or at batch_max requests, or at the end of
-    // the second).
-    const double t0 = shard.arrivals[i].now;
-    const double close =
-        std::min(second_end, (std::floor(t0 / config_.batch_window_s) + 1.0) *
-                                 config_.batch_window_s);
-    std::size_t j = i + 1;
-    while (j < shard.arrivals.size() &&
-           j - i < static_cast<std::size_t>(config_.batch_max) &&
-           shard.arrivals[j].now < close)
-      ++j;
-    const std::size_t n = j - i;
-
-    // Free the bandwidth of calls that ended before this batch arrived, so
-    // the policy sees the current load.
-    shard.expire_until(t0, /*strict=*/false);
-
-    shard.decisions.resize(n);
-    const std::span<const cac::AdmissionRequest> batch(
-        shard.arrivals.data() + i, n);
-
-    const auto start = std::chrono::steady_clock::now();
-    shard.policy->decide_batch(batch, bs, shard.decisions);
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    const std::uint64_t batch_ns = static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
-    shard.second_hist.record_n(std::max<std::uint64_t>(1, batch_ns / n), n);
-
-    // Observability reuses the clock pair already read for the latency
-    // histogram — tracing a batch costs no extra clock read.
-    if (obs::Tracer::enabled())
-      obs::Tracer::record("serve", "decide_batch",
-                          obs::Tracer::to_trace_ns(start), batch_ns,
-                          static_cast<std::int64_t>(n));
-    const bool metrics_on = obs::metrics_enabled();
-    if (metrics_on) {
-      ServeMetrics& m = ServeMetrics::get();
-      m.decisions.add(n);
-      m.batch_fill.record(n);
-      m.batch_ns.record(batch_ns);
-    }
-    const std::int64_t admitted_before = row.admitted;
-
-    row.queue_depth =
-        std::max(row.queue_depth, static_cast<std::int64_t>(n));
-    row.decisions += static_cast<std::int64_t>(n);
-
-    for (std::size_t k = i; k < j; ++k) {
-      const cac::AdmissionRequest& req = shard.arrivals[k];
-      const bool handoff = req.kind == cellular::RequestKind::kHandoff;
-      (handoff ? row.handoff_attempts : row.new_attempts) += 1;
-
-      bool admitted = shard.decisions[k - i].admitted;
-      if (admitted) {
-        // decide_batch scores requests as-if independent; re-check physical
-        // capacity at apply time and demote over-admissions.
-        cellular::Connection conn;
-        conn.id = req.id;
-        conn.service = req.service;
-        conn.bandwidth = req.bandwidth;
-        conn.priority = req.priority;
-        conn.origin = req.kind;
-        admitted = bs.allocate(conn, req.now, /*via_handoff=*/handoff);
-        if (admitted) {
-          shard.policy->on_admitted(req, bs);
-          shard.expiries.push_back(
-              {req.now + shard.holdings[k], req.id, req.service});
-          std::push_heap(shard.expiries.begin(), shard.expiries.end(),
-                         ExpiryLater{});
-        }
-      }
-      if (admitted)
-        ++row.admitted;
-      else
-        (handoff ? row.dropped_handoff : row.blocked_new) += 1;
-    }
-    if (metrics_on)
-      ServeMetrics::get().admitted.add(
-          static_cast<std::uint64_t>(row.admitted - admitted_before));
+    const std::size_t j = batch_end(shard.arrivals, i, config_.batch_window_s,
+                                    config_.batch_max);
+    shard.core.process_batch(
+        std::span<const cac::AdmissionRequest>(shard.arrivals.data() + i,
+                                               j - i),
+        std::span<const double>(shard.holdings.data() + i, j - i));
     i = j;
   }
-
-  // Calls ending in this second's tail (strict <: a release exactly on the
-  // window edge belongs to the next window).
-  shard.expire_until(second_end, /*strict=*/true);
-  row.active_sessions = static_cast<std::int64_t>(shard.expiries.size());
+  shard.core.finish_second(second);
 }
 
 ServerResult DecisionServer::run() {
@@ -296,15 +326,16 @@ ServerResult DecisionServer::run() {
     merged.window = sec;
     second_lat.reset();
     for (const auto& shard : shards_) {
-      FACSP_ENSURES(shard->window.rows().back().window == sec);
-      merged.merge(shard->window.rows().back());
-      second_lat.merge(shard->second_hist);
+      FACSP_ENSURES(shard->core.window().rows().back().window == sec);
+      merged.merge(shard->core.window().rows().back());
+      second_lat.merge(shard->core.second_hist());
     }
     result.total_decisions += merged.decisions;
     result.total_admitted += merged.admitted;
     result.telemetry.push_back(merged);
     if (obs::metrics_enabled())
       ServeMetrics::get().active_sessions.set(merged.active_sessions);
+    if (second_hook_) second_hook_(sec, merged);
 
     LatencyRow lat;
     lat.window = sec;
@@ -372,17 +403,22 @@ void write_file(const std::string& path, Fn&& write) {
 
 }  // namespace
 
+const char kTelemetryCsvHeader[] =
+    "second,decisions,admitted,new_attempts,blocked_new,"
+    "handoff_attempts,dropped_handoff,queue_depth,active_sessions,"
+    "cbp_pct,cdp_pct\n";
+
+void write_telemetry_row(const TelemetryRow& r, std::ostream& os) {
+  os << r.window << ',' << r.decisions << ',' << r.admitted << ','
+     << r.new_attempts << ',' << r.blocked_new << ',' << r.handoff_attempts
+     << ',' << r.dropped_handoff << ',' << r.queue_depth << ','
+     << r.active_sessions << ',' << format_double(r.cbp_pct()) << ','
+     << format_double(r.cdp_pct()) << '\n';
+}
+
 void write_telemetry_csv(const ServerResult& result, std::ostream& os) {
-  os << "second,decisions,admitted,new_attempts,blocked_new,"
-        "handoff_attempts,dropped_handoff,queue_depth,active_sessions,"
-        "cbp_pct,cdp_pct\n";
-  for (const TelemetryRow& r : result.telemetry) {
-    os << r.window << ',' << r.decisions << ',' << r.admitted << ','
-       << r.new_attempts << ',' << r.blocked_new << ',' << r.handoff_attempts
-       << ',' << r.dropped_handoff << ',' << r.queue_depth << ','
-       << r.active_sessions << ',' << format_double(r.cbp_pct()) << ','
-       << format_double(r.cdp_pct()) << '\n';
-  }
+  os << kTelemetryCsvHeader;
+  for (const TelemetryRow& r : result.telemetry) write_telemetry_row(r, os);
 }
 
 void write_telemetry_csv(const ServerResult& result, const std::string& path) {

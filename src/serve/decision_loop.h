@@ -30,8 +30,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -111,6 +113,87 @@ struct ServerResult {
   }
 };
 
+/// One serving shard's admission core: the shard's cell, policy instance,
+/// expiry heap and per-second telemetry/latency accumulators, with the
+/// batched decide -> re-check -> apply -> count step as a reusable unit.
+/// DecisionServer drives one core per shard from a RequestStream; the
+/// socket front-end (src/net/) drives the same cores from connection input.
+/// Whoever drives it, the telemetry a core produces is a pure function of
+/// the (time-ordered) batch sequence it is fed — this is what makes the
+/// socket replay path byte-identical to the in-process one.
+///
+/// Contract: batches must arrive in nondecreasing time order, each batch
+/// entirely inside one simulated second, and finish_second(s) must be
+/// called for every second in increasing order (it opens skipped empty
+/// windows itself).  Steady state allocates nothing: every container is
+/// reserved at construction (plus reserve_windows for the horizon), except
+/// the documented one-ledger-node-per-admission in BaseStation::allocate.
+class ShardCore {
+ public:
+  /// Builds the shard's network and policy exactly like the decision
+  /// server always has: RNG streams rooted at
+  /// hash_seed(scenario.seed, "serve-cell", shard_index).
+  ShardCore(const ServerConfig& config, int shard_index);
+
+  ShardCore(const ShardCore&) = delete;
+  ShardCore& operator=(const ShardCore&) = delete;
+
+  /// Decide one time-ordered batch (all arrivals within one second),
+  /// re-check physical capacity, apply admissions, update the second's
+  /// telemetry row and latency histogram.  Returns the per-request
+  /// decisions with `admitted` reflecting the post-re-check outcome —
+  /// valid until the next process_batch call.
+  std::span<const cac::AdmissionDecision> process_batch(
+      std::span<const cac::AdmissionRequest> batch,
+      std::span<const double> holding_s);
+
+  /// Close simulated second `second`: release calls ending in its tail and
+  /// stamp the row's active_sessions.  Resets the per-second latency
+  /// histogram when the second had no batches, so second_hist() always
+  /// describes exactly `second` afterwards.
+  void finish_second(std::int64_t second);
+
+  void reserve_windows(std::size_t n) { window_.reserve_windows(n); }
+
+  RollingWindow& window() noexcept { return window_; }
+  const RollingWindow& window() const noexcept { return window_; }
+  const LatencyHistogram& second_hist() const noexcept { return second_hist_; }
+  /// Sessions currently holding bandwidth (size of the expiry heap).
+  std::size_t active_sessions() const noexcept { return expiries_.size(); }
+  /// The shard's cell (live request streams need the layout and the centre
+  /// base station's position).
+  const cellular::CellularNetwork& network() const noexcept { return *net_; }
+
+ private:
+  struct Expiry {
+    double at = 0.0;
+    cellular::ConnectionId id = 0;
+    cellular::ServiceClass service = cellular::ServiceClass::kText;
+  };
+
+  void expire_until(double t, bool strict);
+
+  sim::RngFactory rng_;
+  std::unique_ptr<cellular::CellularNetwork> net_;
+  std::unique_ptr<cac::AdmissionPolicy> policy_;
+  RollingWindow window_;
+  LatencyHistogram second_hist_;  ///< reset at each second's first batch
+  std::vector<Expiry> expiries_;  ///< min-heap on `at`
+  std::vector<cac::AdmissionDecision> decisions_;
+  double batch_window_s_;
+  int batch_max_;
+  std::int64_t current_second_ = -1;
+};
+
+/// Greedy batching step shared by the serving loop and the socket
+/// front-end: for time-sorted `arrivals` with an open batch starting at
+/// `i`, returns the exclusive end `j` of that batch.  The batch closes at
+/// the next batch_window_s boundary after arrivals[i].now (never crossing
+/// the end of arrivals[i]'s simulated second) or at batch_max requests.
+std::size_t batch_end(std::span<const cac::AdmissionRequest> arrivals,
+                      std::size_t i, double batch_window_s,
+                      int batch_max) noexcept;
+
 /// The serving loop.  Construct in live mode (requests synthesised by the
 /// workload layer) or replay mode (requests read from a recorded trace,
 /// partitioned round-robin across shards), then run() once.
@@ -125,6 +208,15 @@ class DecisionServer {
 
   std::int64_t duration_s() const noexcept { return duration_s_; }
 
+  /// Optional observer called after each simulated second's fixed-order
+  /// merge with the merged row — the hook behind --metrics-interval's
+  /// periodic snapshot flushing.  Must be set before run().  The hook runs
+  /// on the caller's thread, outside the parallel region; keep it cheap
+  /// (it is on the serving loop's critical path).
+  using SecondHook =
+      std::function<void(std::int64_t second, const TelemetryRow& merged)>;
+  void set_second_hook(SecondHook hook) { second_hook_ = std::move(hook); }
+
   /// Serve the configured duration and return the merged result.
   ServerResult run();
 
@@ -138,6 +230,7 @@ class DecisionServer {
   bool replay_ = false;
   std::int64_t duration_s_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  SecondHook second_hook_;
 };
 
 /// Generate the live-mode request streams for `duration_s` seconds and
@@ -146,6 +239,14 @@ class DecisionServer {
 std::vector<StampedRequest> record_trace(const ServerConfig& config);
 
 // --- rendering -------------------------------------------------------------
+
+/// The telemetry CSV header line (column order is part of the format).
+extern const char kTelemetryCsvHeader[];
+
+/// One telemetry row in the CSV's byte-stable encoding (no newline-free
+/// variant exists: the row ends with '\n').  write_telemetry_csv and the
+/// telemetry scrape endpoint both funnel through this.
+void write_telemetry_row(const TelemetryRow& row, std::ostream& os);
 
 /// Deterministic telemetry CSV: one row per second, integer counters plus
 /// CBP/CDP percentages derived from them (core::format_double — byte-stable

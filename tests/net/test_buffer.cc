@@ -1,0 +1,103 @@
+// ByteQueue: bounded, contiguous, compact-on-demand — the properties the
+// event loop's zero-alloc framing depends on.
+#include "net/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace facsp::net {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::size_t n, std::uint8_t start = 0) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(ByteQueue, AppendConsumeRoundTrip) {
+  ByteQueue q(64);
+  const auto in = bytes(10);
+  ASSERT_TRUE(q.append(in.data(), in.size()));
+  EXPECT_EQ(q.size(), 10u);
+  EXPECT_EQ(std::memcmp(q.data(), in.data(), 10), 0);
+  q.consume(4);
+  EXPECT_EQ(q.size(), 6u);
+  EXPECT_EQ(q.data()[0], 4);
+  q.consume(6);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ByteQueue, AppendIsAllOrNothing) {
+  ByteQueue q(16);
+  const auto a = bytes(12);
+  ASSERT_TRUE(q.append(a.data(), a.size()));
+  const auto b = bytes(5, 100);
+  EXPECT_FALSE(q.append(b.data(), b.size()));  // 12 + 5 > 16: refused whole
+  EXPECT_EQ(q.size(), 12u);                    // nothing partially queued
+  const auto c = bytes(4, 200);
+  EXPECT_TRUE(q.append(c.data(), c.size()));
+  EXPECT_EQ(q.size(), 16u);
+  EXPECT_EQ(q.free_space(), 0u);
+}
+
+TEST(ByteQueue, CompactsInsteadOfRefusingWhenHeadSpaceExists) {
+  ByteQueue q(16);
+  const auto a = bytes(12);
+  ASSERT_TRUE(q.append(a.data(), a.size()));
+  q.consume(10);  // head space: 10, tail space: 4
+  const auto b = bytes(8, 50);
+  ASSERT_TRUE(q.append(b.data(), b.size()));  // needs the memmove
+  EXPECT_EQ(q.size(), 10u);
+  EXPECT_EQ(q.data()[0], 10);  // survivors first
+  EXPECT_EQ(q.data()[1], 11);
+  EXPECT_EQ(q.data()[2], 50);  // then the new bytes
+}
+
+TEST(ByteQueue, ReadableRegionStaysContiguous) {
+  ByteQueue q(32);
+  for (int round = 0; round < 100; ++round) {
+    const auto in = bytes(20, static_cast<std::uint8_t>(round));
+    ASSERT_TRUE(q.append(in.data(), in.size()));
+    // The region handed to the frame parser is one flat span.
+    ASSERT_EQ(std::memcmp(q.data(), in.data(), 20), 0);
+    q.consume(20);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ByteQueue, ReserveCommitFillsLikeRead) {
+  ByteQueue q(32);
+  std::uint8_t* w = q.reserve(8);
+  ASSERT_NE(w, nullptr);
+  ASSERT_GE(q.writable(), 8u);
+  for (int i = 0; i < 8; ++i) w[i] = static_cast<std::uint8_t>(i * 3);
+  q.commit(8);
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_EQ(q.data()[7], 21);
+}
+
+TEST(ByteQueue, ReserveOnFullQueueReturnsNull) {
+  ByteQueue q(8);
+  const auto a = bytes(8);
+  ASSERT_TRUE(q.append(a.data(), a.size()));
+  EXPECT_EQ(q.reserve(1), nullptr);
+  q.consume(1);
+  EXPECT_NE(q.reserve(1), nullptr);
+}
+
+TEST(ByteQueue, ClearResetsCursors) {
+  ByteQueue q(8);
+  const auto a = bytes(6);
+  ASSERT_TRUE(q.append(a.data(), a.size()));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.free_space(), 8u);
+  ASSERT_TRUE(q.append(a.data(), a.size()));
+  EXPECT_EQ(q.size(), 6u);
+}
+
+}  // namespace
+}  // namespace facsp::net

@@ -1,0 +1,459 @@
+// NetServer end to end over real loopback sockets, parameterized over both
+// poll backends: request/response round trips, the FLUSH barrier,
+// malformed-input error frames, partial writes, mid-batch disconnects, the
+// telemetry scrape, and graceful stop.  The server runs on its own thread
+// (which is also what gives TSan a cross-thread schedule to check);
+// clients are plain blocking sockets with a receive timeout so a server
+// bug fails the test instead of hanging it.
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "workload/catalog.h"
+
+namespace facsp::net {
+namespace {
+
+void send_all(int fd, const std::uint8_t* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    ASSERT_GT(w, 0) << "client write failed: " << std::strerror(errno);
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// False on clean EOF before any byte; fatal on timeout/error midway.
+bool read_exact(int fd, std::uint8_t* p, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r == 0) {
+      EXPECT_EQ(got, 0u) << "EOF mid-frame";
+      return false;
+    }
+    if (r < 0) {
+      ADD_FAILURE() << "client read failed: " << std::strerror(errno);
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+bool read_frame(int fd, Frame& out) {
+  std::uint8_t hdr[kHeaderSize];
+  if (!read_exact(fd, hdr, sizeof hdr)) return false;
+  out.header = decode_header(hdr);
+  EXPECT_EQ(validate_header(out.header), WireError::kNone);
+  out.payload.resize(out.header.len);
+  if (out.header.len > 0 && !read_exact(fd, out.payload.data(), out.header.len))
+    return false;
+  return true;
+}
+
+UniqueFd connect_client(std::uint16_t port) {
+  UniqueFd fd = connect_tcp("127.0.0.1", port);
+  timeval tv{5, 0};
+  setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  return fd;
+}
+
+serve::StampedRequest request_at(double t, std::uint64_t id) {
+  serve::StampedRequest r;
+  r.req.now = t;
+  r.req.id = id;
+  r.req.bandwidth = 1.0;
+  r.req.speed_kmh = 30.0;
+  r.req.angle_deg = 10.0;
+  r.req.distance_m = 100.0;
+  r.req.mobile.position.x = 10.0;
+  r.req.mobile.position.y = 10.0;
+  r.req.mobile.heading_deg = 0.0;
+  r.req.mobile.speed_kmh = 30.0;
+  r.holding_s = 60.0;
+  return r;
+}
+
+void send_request(int fd, const serve::StampedRequest& r) {
+  std::uint8_t buf[kRequestFrameSize];
+  encode_header({static_cast<std::uint32_t>(kRequestPayloadSize),
+                 FrameType::kRequest, kProtocolVersion, 0},
+                buf);
+  encode_request(r, buf + kHeaderSize);
+  send_all(fd, buf, sizeof buf);
+}
+
+void send_flush(int fd) {
+  std::uint8_t buf[kFlushFrameSize];
+  encode_header({0, FrameType::kFlush, kProtocolVersion, 0}, buf);
+  send_all(fd, buf, sizeof buf);
+}
+
+class EventLoopTest : public ::testing::TestWithParam<PollBackend> {
+ protected:
+  void start(NetConfig net = {}) {
+    if (GetParam() == PollBackend::kEpoll && !epoll_available())
+      GTEST_SKIP() << "epoll not available";
+    serve_config_.scenario = workload::catalog_scenario("paper-grid");
+    serve_config_.scenario_label = "paper-grid";
+    serve_config_.shards = 2;
+    serve_config_.batch_window_s = 0.05;
+    serve_config_.batch_max = 64;
+    net.backend = GetParam();
+    net.port = 0;
+    net.telemetry_port = 0;
+    // Quick idle flush: tests that skip the FLUSH barrier still see their
+    // responses promptly.
+    net.flush_idle_s = 0.01;
+    server_ = std::make_unique<NetServer>(serve_config_, net);
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  void TearDown() override {
+    if (server_ && thread_.joinable()) {
+      server_->request_stop();
+      thread_.join();
+    }
+  }
+
+  serve::ServerConfig serve_config_;
+  std::unique_ptr<NetServer> server_;
+  std::thread thread_;
+};
+
+TEST_P(EventLoopTest, RequestResponseRoundTrip) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  send_request(fd.get(), request_at(0.5, 42));
+  send_flush(fd.get());
+
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  ASSERT_EQ(f.header.type, FrameType::kResponse);
+  ResponseFrame r;
+  ASSERT_EQ(decode_response(f.payload.data(), f.payload.size(), r),
+            WireError::kNone);
+  EXPECT_EQ(r.id, 42u);
+  EXPECT_GE(r.score, -1.0);
+  EXPECT_LE(r.score, 1.0);
+  EXPECT_LE(r.verdict, 4);
+
+  // The FLUSH echo is the completion barrier: it arrives after the
+  // decisions it forced.
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  EXPECT_EQ(f.header.type, FrameType::kFlush);
+}
+
+TEST_P(EventLoopTest, FlushEchoArrivesAfterAllResponses) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  for (int i = 0; i < 5; ++i)
+    send_request(fd.get(), request_at(0.1 + 0.001 * i, 100 + i));
+  send_flush(fd.get());
+
+  std::vector<std::uint64_t> ids;
+  Frame f;
+  for (;;) {
+    ASSERT_TRUE(read_frame(fd.get(), f));
+    if (f.header.type == FrameType::kFlush) break;
+    ASSERT_EQ(f.header.type, FrameType::kResponse);
+    ResponseFrame r;
+    ASSERT_EQ(decode_response(f.payload.data(), f.payload.size(), r),
+              WireError::kNone);
+    ids.push_back(r.id);
+  }
+  // Responses come out in per-shard batch order, not submit order; every
+  // request is answered exactly once before the flush echo.
+  std::sort(ids.begin(), ids.end());
+  ASSERT_EQ(ids.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ids[i], 100u + i) << i;
+}
+
+TEST_P(EventLoopTest, BadVersionGetsTypedErrorThenClose) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  std::uint8_t hdr[kHeaderSize];
+  encode_header({0, FrameType::kFlush, /*version=*/9, 0}, hdr);
+  send_all(fd.get(), hdr, sizeof hdr);
+
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  ASSERT_EQ(f.header.type, FrameType::kError);
+  ErrorFrame e;
+  ASSERT_EQ(decode_error(f.payload.data(), f.payload.size(), e),
+            WireError::kNone);
+  EXPECT_EQ(e.code, WireError::kBadVersion);
+  EXPECT_FALSE(read_frame(fd.get(), f));  // server closed after the error
+}
+
+TEST_P(EventLoopTest, OversizedLengthPrefixGetsError) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  std::uint8_t hdr[kHeaderSize];
+  encode_header({kMaxPayload + 1, FrameType::kRequest, kProtocolVersion, 0},
+                hdr);
+  send_all(fd.get(), hdr, sizeof hdr);
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  ASSERT_EQ(f.header.type, FrameType::kError);
+  ErrorFrame e;
+  ASSERT_EQ(decode_error(f.payload.data(), f.payload.size(), e),
+            WireError::kNone);
+  EXPECT_EQ(e.code, WireError::kOversized);
+  EXPECT_FALSE(read_frame(fd.get(), f));
+}
+
+TEST_P(EventLoopTest, ResponseTypeFromClientIsRejected) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  std::uint8_t buf[kResponseFrameSize] = {};
+  encode_header({static_cast<std::uint32_t>(kResponsePayloadSize),
+                 FrameType::kResponse, kProtocolVersion, 0},
+                buf);
+  send_all(fd.get(), buf, sizeof buf);
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  ASSERT_EQ(f.header.type, FrameType::kError);
+  ErrorFrame e;
+  ASSERT_EQ(decode_error(f.payload.data(), f.payload.size(), e),
+            WireError::kNone);
+  EXPECT_EQ(e.code, WireError::kBadType);
+}
+
+TEST_P(EventLoopTest, BadEnumInRequestGetsError) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  std::uint8_t buf[kRequestFrameSize];
+  encode_header({static_cast<std::uint32_t>(kRequestPayloadSize),
+                 FrameType::kRequest, kProtocolVersion, 0},
+                buf);
+  encode_request(request_at(0.1, 7), buf + kHeaderSize);
+  buf[kHeaderSize + 80] = 9;  // service enum out of range
+  send_all(fd.get(), buf, sizeof buf);
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  ASSERT_EQ(f.header.type, FrameType::kError);
+  ErrorFrame e;
+  ASSERT_EQ(decode_error(f.payload.data(), f.payload.size(), e),
+            WireError::kNone);
+  EXPECT_EQ(e.code, WireError::kBadEnum);
+}
+
+TEST_P(EventLoopTest, TimeOrderViolationGetsError) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  send_request(fd.get(), request_at(5.0, 1));
+  send_request(fd.get(), request_at(1.0, 2));  // below the watermark
+  Frame f;
+  // The error may arrive before or after request 1's response, depending
+  // on batch timing — scan until it shows up.
+  bool saw_error = false;
+  while (read_frame(fd.get(), f)) {
+    if (f.header.type == FrameType::kError) {
+      ErrorFrame e;
+      ASSERT_EQ(decode_error(f.payload.data(), f.payload.size(), e),
+                WireError::kNone);
+      EXPECT_EQ(e.code, WireError::kTimeOrder);
+      saw_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_error);
+}
+
+TEST_P(EventLoopTest, OneByteAtATimeWritesStillParse) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  std::uint8_t buf[kRequestFrameSize];
+  encode_header({static_cast<std::uint32_t>(kRequestPayloadSize),
+                 FrameType::kRequest, kProtocolVersion, 0},
+                buf);
+  encode_request(request_at(0.25, 77), buf + kHeaderSize);
+  for (std::size_t i = 0; i < sizeof buf; ++i)
+    send_all(fd.get(), buf + i, 1);  // worst-case fragmentation
+  send_flush(fd.get());
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  ASSERT_EQ(f.header.type, FrameType::kResponse);
+  ResponseFrame r;
+  ASSERT_EQ(decode_response(f.payload.data(), f.payload.size(), r),
+            WireError::kNone);
+  EXPECT_EQ(r.id, 77u);
+}
+
+TEST_P(EventLoopTest, MidBatchDisconnectDoesNotPoisonOthers) {
+  start();
+  {
+    // Connection A contributes to an open batch, then vanishes.
+    UniqueFd a = connect_client(server_->admission_port());
+    send_request(a.get(), request_at(0.10, 1));
+  }
+  // Connection B joins the same batching window and must still be served.
+  UniqueFd b = connect_client(server_->admission_port());
+  send_request(b.get(), request_at(0.11, 2));
+  send_flush(b.get());
+  Frame f;
+  ASSERT_TRUE(read_frame(b.get(), f));
+  ASSERT_EQ(f.header.type, FrameType::kResponse);
+  ResponseFrame r;
+  ASSERT_EQ(decode_response(f.payload.data(), f.payload.size(), r),
+            WireError::kNone);
+  EXPECT_EQ(r.id, 2u);
+}
+
+TEST_P(EventLoopTest, TruncatedFrameThenCloseLeavesServerServing) {
+  start();
+  {
+    UniqueFd broken = connect_client(server_->admission_port());
+    std::uint8_t half[kHeaderSize + 13];
+    encode_header({static_cast<std::uint32_t>(kRequestPayloadSize),
+                   FrameType::kRequest, kProtocolVersion, 0},
+                  half);
+    std::memset(half + kHeaderSize, 0xab, 13);
+    send_all(broken.get(), half, sizeof half);  // 13 of 88 payload bytes
+  }
+  UniqueFd fd = connect_client(server_->admission_port());
+  send_request(fd.get(), request_at(0.2, 5));
+  send_flush(fd.get());
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  EXPECT_EQ(f.header.type, FrameType::kResponse);
+}
+
+TEST_P(EventLoopTest, InterleavedConnectionsEachGetTheirOwnResponses) {
+  start();
+  UniqueFd a = connect_client(server_->admission_port());
+  UniqueFd b = connect_client(server_->admission_port());
+  // One shared arrival time: the two sockets' bytes reach the server in
+  // whatever order the kernel delivers them, and equal timestamps satisfy
+  // the watermark either way.
+  for (int i = 0; i < 6; ++i) {
+    if (i % 2 == 0)
+      send_request(a.get(), request_at(0.1, 1000 + i));
+    else
+      send_request(b.get(), request_at(0.1, 2000 + i));
+  }
+  send_flush(a.get());
+  send_flush(b.get());
+
+  auto collect = [](int fd) {
+    std::vector<std::uint64_t> ids;
+    Frame f;
+    for (;;) {
+      if (!read_frame(fd, f)) break;
+      if (f.header.type == FrameType::kFlush) break;
+      ResponseFrame r;
+      EXPECT_EQ(decode_response(f.payload.data(), f.payload.size(), r),
+                WireError::kNone);
+      ids.push_back(r.id);
+    }
+    return ids;
+  };
+  const auto ids_a = collect(a.get());
+  const auto ids_b = collect(b.get());
+  ASSERT_EQ(ids_a.size(), 3u);
+  ASSERT_EQ(ids_b.size(), 3u);
+  for (const std::uint64_t id : ids_a) EXPECT_LT(id, 2000u);
+  for (const std::uint64_t id : ids_b) EXPECT_GE(id, 2000u);
+}
+
+TEST_P(EventLoopTest, ScrapeServesTelemetryAndMetrics) {
+  start();
+  // Push one second past the watermark so a row finalizes.
+  UniqueFd fd = connect_client(server_->admission_port());
+  send_request(fd.get(), request_at(0.5, 1));
+  send_request(fd.get(), request_at(1.5, 2));
+  send_flush(fd.get());
+  Frame f;
+  while (read_frame(fd.get(), f) && f.header.type != FrameType::kFlush) {
+  }
+
+  UniqueFd scrape = connect_client(server_->telemetry_port());
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(scrape.get(), buf, sizeof buf);
+    if (n <= 0) break;
+    text.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_NE(text.find("# facsp-telemetry v1"), std::string::npos);
+  EXPECT_NE(text.find("second,decisions,admitted"), std::string::npos);
+  EXPECT_NE(text.find("seconds_finalized 1"), std::string::npos);
+  EXPECT_NE(text.find("# metrics"), std::string::npos);
+}
+
+TEST_P(EventLoopTest, StopSealsTelemetryAndReportsResult) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  send_request(fd.get(), request_at(0.5, 1));
+  send_request(fd.get(), request_at(1.5, 2));
+  send_flush(fd.get());
+  Frame f;
+  while (read_frame(fd.get(), f) && f.header.type != FrameType::kFlush) {
+  }
+
+  server_->request_stop();
+  thread_.join();
+  EXPECT_TRUE(server_->service().drained());
+  const serve::ServerResult result = server_->result();
+  ASSERT_EQ(result.telemetry.size(), 2u);  // seconds 0 and 1
+  EXPECT_EQ(result.total_decisions, 2);
+  EXPECT_GE(result.wall_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopTest,
+                         ::testing::Values(PollBackend::kPoll,
+                                           PollBackend::kEpoll),
+                         [](const auto& info) {
+                           return info.param == PollBackend::kPoll ? "poll"
+                                                                   : "epoll";
+                         });
+
+TEST(NetConfigValidate, RejectsNonsense) {
+  serve::ServerConfig serve_config;
+  serve_config.scenario = workload::catalog_scenario("paper-grid");
+  NetConfig net;
+  net.pending_cap = 0;
+  EXPECT_THROW(NetServer(serve_config, net), ConfigError);
+  net = {};
+  net.write_high_watermark = net.write_buf + 1;
+  EXPECT_THROW(NetServer(serve_config, net), ConfigError);
+  net = {};
+  net.flush_idle_s = -1.0;
+  EXPECT_THROW(NetServer(serve_config, net), ConfigError);
+}
+
+TEST(NetServerBind, PortCollisionReportsStrerror) {
+  serve::ServerConfig serve_config;
+  serve_config.scenario = workload::catalog_scenario("paper-grid");
+  NetConfig net;
+  net.port = 0;
+  NetServer first(serve_config, net);
+  net.port = first.admission_port();  // already bound
+  try {
+    NetServer second(serve_config, net);
+    FAIL() << "bind collision should throw";
+  } catch (const SocketError& e) {
+    EXPECT_NE(std::string(e.what()).find("bind"), std::string::npos);
+    EXPECT_NE(e.code(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace facsp::net

@@ -1,0 +1,276 @@
+// Wire-format round-trips plus hostile-input fuzzing: every byte pattern a
+// client can send must decode or be rejected with a typed WireError —
+// never crash, never read out of bounds.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace facsp::net {
+namespace {
+
+serve::StampedRequest sample_request() {
+  serve::StampedRequest r;
+  r.req.now = 12.375;
+  r.req.id = 0xdeadbeefcafe01ULL;
+  r.req.bandwidth = 2.0;
+  r.req.speed_kmh = 63.5;
+  r.req.angle_deg = 17.25;
+  r.req.distance_m = 412.0;
+  r.req.mobile.position.x = -120.5;
+  r.req.mobile.position.y = 310.25;
+  r.req.mobile.heading_deg = 201.0;
+  r.req.mobile.speed_kmh = 63.5;
+  r.req.service = static_cast<cellular::ServiceClass>(2);
+  r.req.kind = static_cast<cellular::RequestKind>(1);
+  r.req.priority = static_cast<cellular::UserPriority>(0);
+  r.holding_s = 95.5;
+  return r;
+}
+
+TEST(Frame, HeaderRoundTrip) {
+  std::uint8_t buf[kHeaderSize];
+  encode_header({88, FrameType::kRequest, kProtocolVersion, 0}, buf);
+  const FrameHeader h = decode_header(buf);
+  EXPECT_EQ(h.len, 88u);
+  EXPECT_EQ(h.type, FrameType::kRequest);
+  EXPECT_EQ(h.version, kProtocolVersion);
+  EXPECT_EQ(h.reserved, 0u);
+  EXPECT_EQ(validate_header(h), WireError::kNone);
+}
+
+TEST(Frame, HeaderIsLittleEndian) {
+  std::uint8_t buf[kHeaderSize];
+  encode_header({0x0102, FrameType::kFlush, kProtocolVersion, 0}, buf);
+  EXPECT_EQ(buf[0], 0x02);  // low byte first
+  EXPECT_EQ(buf[1], 0x01);
+  EXPECT_EQ(buf[4], 4);  // kFlush
+  EXPECT_EQ(buf[5], 1);  // version
+}
+
+TEST(Frame, ValidateRejectsBadVersion) {
+  FrameHeader h{kRequestPayloadSize, FrameType::kRequest, 2, 0};
+  EXPECT_EQ(validate_header(h), WireError::kBadVersion);
+  h.version = 0;
+  EXPECT_EQ(validate_header(h), WireError::kBadVersion);
+}
+
+TEST(Frame, ValidateRejectsNonzeroReserved) {
+  FrameHeader h{kRequestPayloadSize, FrameType::kRequest, kProtocolVersion, 7};
+  EXPECT_EQ(validate_header(h), WireError::kBadVersion);
+}
+
+TEST(Frame, ValidateRejectsOversizedBeforeType) {
+  // A hostile length prefix is rejected even when the type is garbage too:
+  // nothing downstream may ever try to buffer 4 GiB.
+  FrameHeader h{std::numeric_limits<std::uint32_t>::max(),
+                static_cast<FrameType>(250), kProtocolVersion, 0};
+  EXPECT_EQ(validate_header(h), WireError::kOversized);
+  h.len = kMaxPayload + 1;
+  EXPECT_EQ(validate_header(h), WireError::kOversized);
+}
+
+TEST(Frame, ValidateRejectsUnknownType) {
+  FrameHeader h{0, static_cast<FrameType>(0), kProtocolVersion, 0};
+  EXPECT_EQ(validate_header(h), WireError::kBadType);
+  h.type = static_cast<FrameType>(6);
+  EXPECT_EQ(validate_header(h), WireError::kBadType);
+}
+
+TEST(Frame, ValidateRejectsWrongLengthForType) {
+  FrameHeader h{kRequestPayloadSize - 1, FrameType::kRequest,
+                kProtocolVersion, 0};
+  EXPECT_EQ(validate_header(h), WireError::kBadLength);
+  h = {1, FrameType::kFlush, kProtocolVersion, 0};
+  EXPECT_EQ(validate_header(h), WireError::kBadLength);
+}
+
+TEST(Frame, RequestRoundTrip) {
+  const serve::StampedRequest r = sample_request();
+  std::uint8_t buf[kRequestPayloadSize];
+  encode_request(r, buf);
+  serve::StampedRequest d;
+  ASSERT_EQ(decode_request(buf, sizeof buf, d), WireError::kNone);
+  EXPECT_EQ(d.req.now, r.req.now);
+  EXPECT_EQ(d.req.id, r.req.id);
+  EXPECT_EQ(d.req.bandwidth, r.req.bandwidth);
+  EXPECT_EQ(d.req.speed_kmh, r.req.speed_kmh);
+  EXPECT_EQ(d.req.angle_deg, r.req.angle_deg);
+  EXPECT_EQ(d.req.distance_m, r.req.distance_m);
+  EXPECT_EQ(d.holding_s, r.holding_s);
+  EXPECT_EQ(d.req.mobile.position.x, r.req.mobile.position.x);
+  EXPECT_EQ(d.req.mobile.position.y, r.req.mobile.position.y);
+  EXPECT_EQ(d.req.mobile.heading_deg, r.req.mobile.heading_deg);
+  EXPECT_EQ(d.req.mobile.speed_kmh, r.req.speed_kmh);
+  EXPECT_EQ(d.req.service, r.req.service);
+  EXPECT_EQ(d.req.kind, r.req.kind);
+  EXPECT_EQ(d.req.priority, r.req.priority);
+}
+
+TEST(Frame, RequestRejectsBadEnums) {
+  std::uint8_t buf[kRequestPayloadSize];
+  serve::StampedRequest d;
+  encode_request(sample_request(), buf);
+  buf[80] = 3;  // service
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadEnum);
+  encode_request(sample_request(), buf);
+  buf[81] = 2;  // kind
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadEnum);
+  encode_request(sample_request(), buf);
+  buf[82] = 255;  // priority
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadEnum);
+}
+
+TEST(Frame, RequestRejectsNonFiniteAndNegative) {
+  std::uint8_t buf[kRequestPayloadSize];
+  serve::StampedRequest d;
+
+  serve::StampedRequest r = sample_request();
+  r.req.bandwidth = std::numeric_limits<double>::quiet_NaN();
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadValue);
+
+  r = sample_request();
+  r.req.now = std::numeric_limits<double>::infinity();
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadValue);
+
+  r = sample_request();
+  r.req.now = -0.5;
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadValue);
+
+  r = sample_request();
+  r.holding_s = -1.0;
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadValue);
+}
+
+TEST(Frame, RequestRejectsWrongLength) {
+  std::uint8_t buf[kRequestPayloadSize];
+  encode_request(sample_request(), buf);
+  serve::StampedRequest d;
+  EXPECT_EQ(decode_request(buf, kRequestPayloadSize - 1, d),
+            WireError::kBadLength);
+  EXPECT_EQ(decode_request(buf, 0, d), WireError::kBadLength);
+}
+
+TEST(Frame, RequestIgnoresReservedTail) {
+  std::uint8_t buf[kRequestPayloadSize];
+  encode_request(sample_request(), buf);
+  std::memset(buf + 83, 0xff, 5);  // reserved bytes: ignored on decode
+  serve::StampedRequest d;
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kNone);
+}
+
+TEST(Frame, ResponseRoundTrip) {
+  cac::AdmissionDecision dec;
+  dec.admitted = true;
+  dec.score = -0.25;
+  dec.verdict = static_cast<cac::Verdict>(3);
+  std::uint8_t buf[kResponsePayloadSize];
+  encode_response(77, dec, buf);
+  ResponseFrame r;
+  ASSERT_EQ(decode_response(buf, sizeof buf, r), WireError::kNone);
+  EXPECT_EQ(r.id, 77u);
+  EXPECT_EQ(r.score, -0.25);
+  EXPECT_TRUE(r.admitted);
+  EXPECT_EQ(r.verdict, 3);
+}
+
+TEST(Frame, ErrorAndDroppedRoundTrip) {
+  std::uint8_t ebuf[kErrorPayloadSize];
+  encode_error(WireError::kOversized, 123456, ebuf);
+  ErrorFrame e;
+  ASSERT_EQ(decode_error(ebuf, sizeof ebuf, e), WireError::kNone);
+  EXPECT_EQ(e.code, WireError::kOversized);
+  EXPECT_EQ(e.detail, 123456u);
+
+  std::uint8_t dbuf[kDroppedPayloadSize];
+  encode_dropped(0x1122334455667788ULL, dbuf);
+  std::uint64_t id = 0;
+  ASSERT_EQ(decode_dropped(dbuf, sizeof dbuf, id), WireError::kNone);
+  EXPECT_EQ(id, 0x1122334455667788ULL);
+}
+
+TEST(Frame, WireErrorNamesAreStable) {
+  EXPECT_STREQ(wire_error_name(WireError::kBadVersion), "bad-version");
+  EXPECT_STREQ(wire_error_name(WireError::kOversized), "oversized");
+  EXPECT_STREQ(wire_error_name(WireError::kTimeOrder), "time-order");
+  EXPECT_STREQ(wire_error_name(static_cast<WireError>(999)), "unknown");
+}
+
+// Deterministic fuzz: random headers and request payloads must classify
+// cleanly (accepted or a defined WireError) without crashing.  A tiny LCG
+// keeps the byte stream identical on every run and platform.
+struct Lcg {
+  std::uint64_t s;
+  std::uint8_t next() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::uint8_t>(s >> 56);
+  }
+};
+
+TEST(FrameFuzz, RandomHeadersNeverCrash) {
+  Lcg rng{42};
+  int accepted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::uint8_t buf[kHeaderSize];
+    for (std::uint8_t& b : buf) b = rng.next();
+    const FrameHeader h = decode_header(buf);
+    const WireError e = validate_header(h);
+    if (e == WireError::kNone) {
+      ++accepted;
+      EXPECT_LE(h.len, kMaxPayload);
+    }
+  }
+  // Version + reserved + type + exact-length all matching by chance is
+  // vanishingly rare.
+  EXPECT_LT(accepted, 4);
+}
+
+TEST(FrameFuzz, RandomRequestPayloadsNeverCrash) {
+  Lcg rng{7};
+  for (int i = 0; i < 20000; ++i) {
+    std::uint8_t buf[kRequestPayloadSize];
+    for (std::uint8_t& b : buf) b = rng.next();
+    serve::StampedRequest d;
+    const WireError e = decode_request(buf, sizeof buf, d);
+    if (e == WireError::kNone) {
+      // Whatever got through must honor the decode contract.
+      EXPECT_TRUE(std::isfinite(d.req.now));
+      EXPECT_GE(d.req.now, 0.0);
+      EXPECT_GE(d.holding_s, 0.0);
+    } else {
+      EXPECT_TRUE(e == WireError::kBadEnum || e == WireError::kBadValue);
+    }
+  }
+}
+
+TEST(FrameFuzz, RandomDoublesWithValidEnumsClassifyCleanly) {
+  // Valid enum bytes, fuzzed doubles: acceptance needs every double finite
+  // and now/holding nonnegative — common enough to exercise the accept
+  // path thousands of times.
+  Lcg rng{1234};
+  int ok = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::uint8_t buf[kRequestPayloadSize];
+    for (std::uint8_t& b : buf) b = rng.next();
+    buf[80] = static_cast<std::uint8_t>(rng.next() % 3);
+    buf[81] = static_cast<std::uint8_t>(rng.next() % 2);
+    buf[82] = static_cast<std::uint8_t>(rng.next() % 3);
+    serve::StampedRequest d;
+    const WireError e = decode_request(buf, sizeof buf, d);
+    if (e == WireError::kNone)
+      ++ok;
+    else
+      EXPECT_EQ(e, WireError::kBadValue);
+  }
+  EXPECT_GT(ok, 100);
+}
+
+}  // namespace
+}  // namespace facsp::net

@@ -1,0 +1,109 @@
+// SnapshotWriter: interval-anchored flushing, tmp+rename atomicity
+// (observable as: the target never holds a partial render), and the
+// in-memory latest() buffer the scrape endpoint serves.
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace facsp::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::instance().reset_values();
+    path_ = ::testing::TempDir() + "snapshot_test.csv";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, IntervalIsAnchoredAtSecondZero) {
+  SnapshotWriter w(path_, /*interval_s=*/5, Registry::instance());
+  w.on_second(0);
+  w.on_second(3);
+  EXPECT_EQ(w.flush_count(), 0u);
+  w.on_second(4);  // first interval [0, 4] complete
+  EXPECT_EQ(w.flush_count(), 1u);
+  w.on_second(4);  // repeated second: no double flush
+  EXPECT_EQ(w.flush_count(), 1u);
+  w.on_second(9);
+  EXPECT_EQ(w.flush_count(), 2u);
+  w.on_second(10);
+  EXPECT_EQ(w.flush_count(), 2u);
+}
+
+TEST_F(SnapshotTest, EveryIntervalFlushesWithIntervalOne) {
+  SnapshotWriter w(path_, 1, Registry::instance());
+  for (int s = 0; s < 4; ++s) w.on_second(s);
+  EXPECT_EQ(w.flush_count(), 4u);
+}
+
+TEST_F(SnapshotTest, WritesRegistryCsvToDisk) {
+  Registry::instance().counter("snap.test.events").add(7);
+  SnapshotWriter w(path_, 1, Registry::instance());
+  w.on_second(0);
+  const std::string on_disk = slurp(path_);
+  EXPECT_NE(on_disk.find("snap.test.events"), std::string::npos);
+  EXPECT_EQ(on_disk, w.latest());
+  // No leftover temp file after a successful rename.
+  std::ifstream tmp(path_ + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST_F(SnapshotTest, LatestUpdatesWithoutAPath) {
+  // Path-less mode: the scrape endpoint's configuration — memory only.
+  Registry::instance().counter("snap.test.memonly").add(1);
+  SnapshotWriter w("", 2, Registry::instance());
+  EXPECT_TRUE(w.latest().empty());
+  w.on_second(1);
+  EXPECT_NE(w.latest().find("snap.test.memonly"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, ExplicitFlushIsUnconditional) {
+  SnapshotWriter w(path_, 1000, Registry::instance());
+  w.on_second(3);  // far from an interval boundary
+  EXPECT_EQ(w.flush_count(), 0u);
+  w.flush();
+  EXPECT_EQ(w.flush_count(), 1u);
+  EXPECT_FALSE(slurp(path_).empty());
+}
+
+TEST_F(SnapshotTest, LaterFlushObservesNewValues) {
+  Counter& c = Registry::instance().counter("snap.test.grows");
+  SnapshotWriter w(path_, 1, Registry::instance());
+  c.add(1);
+  w.on_second(0);
+  const std::string first = w.latest();
+  c.add(41);
+  w.on_second(1);
+  EXPECT_NE(w.latest(), first);
+  EXPECT_NE(w.latest().find("42"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsNonPositiveInterval) {
+  EXPECT_THROW(SnapshotWriter(path_, 0, Registry::instance()), ConfigError);
+  EXPECT_THROW(SnapshotWriter(path_, -3, Registry::instance()), ConfigError);
+}
+
+}  // namespace
+}  // namespace facsp::obs
