@@ -56,7 +56,7 @@ int usage(const char* argv0, FILE* dst) {
       "  --threads <int>          workers draining shards, 0 = all cores\n"
       "                           (default 1; telemetry is byte-identical\n"
       "                           for every value)\n"
-      "  --batch-window <s>       admission batching window (default 0.05)\n"
+      "  --batch-window <s>       admission batching window (default 0.1)\n"
       "  --batch-max <int>        max requests per batch (default 256)\n"
       "  --seed <u64>             override the scenario seed\n"
       "\n"
@@ -70,6 +70,9 @@ int usage(const char* argv0, FILE* dst) {
       "  --host <addr>            bind address (default 127.0.0.1)\n"
       "  --pending-cap <n>        max undecided requests before drop-oldest\n"
       "                           shedding (default 8192)\n"
+      "  --max-skew <s>           refuse arrivals more than this many\n"
+      "                           simulated seconds past the watermark\n"
+      "                           (default 3600)\n"
       "  --flush-idle <s>         close open batches after this much\n"
       "                           wall-clock quiet (default 0.05)\n"
       "  --io-timeout <s>         per-connection read/write timeout\n"
@@ -143,6 +146,7 @@ int run(int argc, char** argv) {
   std::optional<int> telemetry_port;
   std::optional<std::string> host;
   std::optional<int> pending_cap;
+  std::optional<double> max_skew;
   std::optional<double> flush_idle;
   std::optional<double> io_timeout;
   std::optional<double> idle_timeout;
@@ -204,6 +208,8 @@ int run(int argc, char** argv) {
       host = value("--host");
     else if (arg == "--pending-cap")
       pending_cap = parse_int(value("--pending-cap"), "--pending-cap");
+    else if (arg == "--max-skew")
+      max_skew = parse_double(value("--max-skew"), "--max-skew");
     else if (arg == "--flush-idle")
       flush_idle = parse_double(value("--flush-idle"), "--flush-idle");
     else if (arg == "--io-timeout")
@@ -226,6 +232,7 @@ int run(int argc, char** argv) {
     const char* stray = telemetry_port ? "--telemetry-port"
                        : host          ? "--host"
                        : pending_cap   ? "--pending-cap"
+                       : max_skew      ? "--max-skew"
                        : flush_idle    ? "--flush-idle"
                        : io_timeout    ? "--io-timeout"
                        : idle_timeout  ? "--idle-timeout"
@@ -257,6 +264,7 @@ int run(int argc, char** argv) {
     if (telemetry_port) net.telemetry_port = *telemetry_port;
     if (host) net.host = *host;
     if (pending_cap) net.pending_cap = static_cast<std::size_t>(*pending_cap);
+    if (max_skew) net.max_skew_s = *max_skew;
     if (flush_idle) net.flush_idle_s = *flush_idle;
     if (io_timeout) {
       net.read_timeout_s = *io_timeout;

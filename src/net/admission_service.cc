@@ -46,11 +46,14 @@ AdmissionService::NetShard::NetShard(const serve::ServerConfig& config,
 
 AdmissionService::AdmissionService(const serve::ServerConfig& config,
                                    std::size_t pending_cap,
-                                   std::size_t reserve_seconds)
-    : config_(config), pending_cap_(pending_cap) {
+                                   std::size_t reserve_seconds,
+                                   double max_skew_s)
+    : config_(config), pending_cap_(pending_cap), max_skew_s_(max_skew_s) {
   config_.validate(/*live=*/false);
   if (pending_cap_ < static_cast<std::size_t>(config_.batch_max))
     throw ConfigError("net: pending cap must be >= batch_max");
+  if (!(max_skew_s_ > 0.0) || !std::isfinite(max_skew_s_))
+    throw ConfigError("net: max skew must be positive and finite");
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<NetShard>(config_, s));
@@ -66,6 +69,13 @@ AdmissionService::Submit AdmissionService::submit(
   // After drain the telemetry is sealed; anything further is out of order
   // by definition.
   if (drained_ || t < last_t_) return Submit::kReordered;
+  // Bound forward skew before any second arithmetic: accepting t would
+  // finalize every second between the watermark and t inline, so an
+  // unbounded jump (one hostile frame) would wedge the loop and grow the
+  // telemetry rows without limit.  The check also keeps the int64 cast
+  // below well inside range.
+  if (t - (last_t_ < 0.0 ? 0.0 : last_t_) > max_skew_s_)
+    return Submit::kHorizon;
 
   const std::int64_t S = static_cast<std::int64_t>(std::floor(t));
   if (S > next_second_) {

@@ -24,7 +24,10 @@
 //     watermark enters a later second, so every batch of a second is
 //     decided before its row is sealed;
 //   * arrivals below the watermark are rejected (kTimeOrder), never
-//     silently reordered.
+//     silently reordered, and arrivals more than `max_skew_s` above it
+//     are rejected (kHorizon) — advancing the watermark finalizes every
+//     second it passes inline, so unbounded forward jumps from one
+//     hostile frame would otherwise wedge the event loop.
 //
 // Overload: `pending_cap` bounds undecided requests across all shards.
 // At the cap the OLDEST pending request is shed (on_dropped) to make room
@@ -64,8 +67,14 @@ class AdmissionService {
   using SecondHook =
       std::function<void(std::int64_t second, const serve::TelemetryRow&)>;
 
+  /// Default forward-skew horizon: an arrival more than this many simulated
+  /// seconds above the watermark is refused (kHorizon) instead of finalizing
+  /// that many empty telemetry seconds inline on the submit path.
+  static constexpr double kDefaultMaxSkewS = 3600.0;
+
   AdmissionService(const serve::ServerConfig& config, std::size_t pending_cap,
-                   std::size_t reserve_seconds);
+                   std::size_t reserve_seconds,
+                   double max_skew_s = kDefaultMaxSkewS);
 
   AdmissionService(const AdmissionService&) = delete;
   AdmissionService& operator=(const AdmissionService&) = delete;
@@ -77,6 +86,9 @@ class AdmissionService {
     kAccepted,
     /// arrival_s below the watermark — request refused, nothing enqueued.
     kReordered,
+    /// arrival_s more than max_skew_s above the watermark — refused,
+    /// nothing enqueued, watermark unchanged.
+    kHorizon,
   };
 
   /// Feed one decoded request from connection `conn`.  May close batches,
@@ -138,6 +150,7 @@ class AdmissionService {
   SecondHook second_hook_;
 
   std::size_t pending_cap_;
+  double max_skew_s_;
   std::size_t pending_ = 0;
   std::uint64_t seq_ = 0;        ///< global receive-order counter
   std::uint64_t submitted_ = 0;

@@ -88,6 +88,8 @@ const char* wire_error_name(WireError e) noexcept {
       return "bad-value";
     case WireError::kTimeOrder:
       return "time-order";
+    case WireError::kHorizon:
+      return "horizon";
   }
   return "unknown";
 }
@@ -173,6 +175,11 @@ WireError decode_request(const std::uint8_t* in, std::size_t len,
   for (const double v : doubles)
     if (!std::isfinite(v)) return WireError::kBadValue;
   if (q.now < 0.0 || out.holding_s < 0.0) return WireError::kBadValue;
+  // An absurd arrival time would wedge the server finalizing empty seconds
+  // (and overflow the double->int64 second cast); a non-positive bandwidth
+  // would trip BaseStation::allocate's precondition downstream.
+  if (q.now > kMaxArrivalS) return WireError::kBadValue;
+  if (q.bandwidth <= 0.0) return WireError::kBadValue;
   return WireError::kNone;
 }
 

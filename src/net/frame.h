@@ -16,9 +16,11 @@
 //
 //   offset  size  field
 //   0       8     f64  arrival_s (simulated clock; nondecreasing per
-//                      connection stream, enforced server-side)
+//                      connection stream, enforced server-side; decode
+//                      rejects values above kMaxArrivalS, the server
+//                      additionally bounds forward skew vs its watermark)
 //   8       8     u64  connection id
-//   16      8     f64  bandwidth_bu
+//   16      8     f64  bandwidth_bu (must be > 0)
 //   24      8     f64  speed_kmh
 //   32      8     f64  angle_deg
 //   40      8     f64  distance_m
@@ -68,6 +70,11 @@ inline constexpr std::uint8_t kProtocolVersion = 1;
 /// (88 bytes) so the format can grow, far below the read buffer so a
 /// hostile length prefix can never wedge a connection.
 inline constexpr std::uint32_t kMaxPayload = 4096;
+/// Largest arrival_s a request frame may carry (2^32 simulated seconds,
+/// ~136 years).  A hard sanity cap: it keeps every downstream
+/// double->int64 second computation far from overflow regardless of the
+/// server's (tighter, watermark-relative) max-skew horizon.
+inline constexpr double kMaxArrivalS = 4294967296.0;
 
 enum class FrameType : std::uint8_t {
   kRequest = 1,
@@ -85,8 +92,10 @@ enum class WireError : std::uint32_t {
   kOversized = 3,    ///< length prefix > kMaxPayload
   kBadLength = 4,    ///< payload size wrong for the frame type
   kBadEnum = 5,      ///< service/kind/priority byte out of range
-  kBadValue = 6,     ///< non-finite double, negative time/holding
+  kBadValue = 6,     ///< non-finite double, non-positive bandwidth,
+                     ///< negative time/holding, arrival_s > kMaxArrivalS
   kTimeOrder = 7,    ///< arrival_s below the server's watermark
+  kHorizon = 8,      ///< arrival_s too far above the watermark (max skew)
 };
 
 const char* wire_error_name(WireError e) noexcept;

@@ -24,6 +24,7 @@ struct LoopMetrics {
   obs::Counter& bytes_in;
   obs::Counter& bytes_out;
   obs::Counter& decode_errors;
+  obs::Counter& accept_exhausted;
   obs::Counter& orphaned;
   obs::Counter& pauses;
   obs::Counter& timeouts;
@@ -36,7 +37,8 @@ struct LoopMetrics {
         r.counter("net.accepted"),      r.counter("net.closed"),
         r.counter("net.frames_in"),     r.counter("net.frames_out"),
         r.counter("net.bytes_in"),      r.counter("net.bytes_out"),
-        r.counter("net.decode_errors"), r.counter("net.orphaned_responses"),
+        r.counter("net.decode_errors"), r.counter("net.accept_exhausted"),
+        r.counter("net.orphaned_responses"),
         r.counter("net.backpressure_pauses"), r.counter("net.timeouts"),
         r.counter("net.scrapes"),       r.gauge("net.connections"),
     };
@@ -63,6 +65,8 @@ void NetConfig::validate() const {
   if (write_buf < kResponseFrameSize || write_high_watermark > write_buf)
     throw ConfigError("net: write buffer/high-watermark sizes are invalid");
   if (pending_cap == 0) throw ConfigError("net: pending cap must be > 0");
+  if (!(max_skew_s > 0.0))
+    throw ConfigError("net: max skew must be > 0");
   if (read_timeout_s <= 0.0 || write_timeout_s <= 0.0 ||
       idle_timeout_s <= 0.0 || flush_idle_s <= 0.0)
     throw ConfigError("net: timeouts must be > 0");
@@ -93,7 +97,8 @@ NetServer::NetServer(const serve::ServerConfig& serve_config,
                      const NetConfig& net)
     : serve_config_(serve_config),
       net_(net),
-      service_(serve_config, net.pending_cap, net.reserve_seconds) {
+      service_(serve_config, net.pending_cap, net.reserve_seconds,
+               net.max_skew_s) {
   net_.validate();
   poller_ = make_poller(net_.backend);
   listen_fd_ = listen_tcp(net_.host, static_cast<std::uint16_t>(net_.port),
@@ -225,8 +230,13 @@ void NetServer::run() {
 
 void NetServer::accept_admission() {
   while (true) {
-    UniqueFd fd = accept_conn(listen_fd_.get());
-    if (!fd.valid()) return;
+    bool exhausted = false;
+    UniqueFd fd = accept_conn(listen_fd_.get(), &exhausted);
+    if (!fd.valid()) {
+      if (exhausted && obs::metrics_enabled())
+        LoopMetrics::get().accept_exhausted.add(1);
+      return;
+    }
 
     Connection* c;
     if (!free_.empty()) {
@@ -265,8 +275,13 @@ void NetServer::accept_admission() {
 
 void NetServer::accept_telemetry() {
   while (true) {
-    UniqueFd fd = accept_conn(telemetry_fd_.get());
-    if (!fd.valid()) return;
+    bool exhausted = false;
+    UniqueFd fd = accept_conn(telemetry_fd_.get(), &exhausted);
+    if (!fd.valid()) {
+      if (exhausted && obs::metrics_enabled())
+        LoopMetrics::get().accept_exhausted.add(1);
+      return;
+    }
 
     Connection* c;
     if (!free_.empty()) {
@@ -405,9 +420,25 @@ void NetServer::handle_request(Connection& c, const std::uint8_t* payload,
     send_error(c, err, 0);
     return;
   }
-  const AdmissionService::Submit s = service_.submit(c.id, r);
+  AdmissionService::Submit s;
+  try {
+    s = service_.submit(c.id, r);
+  } catch (const ContractViolation&) {
+    // Defense in depth: decode validation should make internal
+    // preconditions unreachable from the wire, but if one still trips,
+    // the blast radius is this connection — never the process.
+    send_error(c, WireError::kBadValue, 0);
+    return;
+  }
   if (s == AdmissionService::Submit::kReordered) {
     send_error(c, WireError::kTimeOrder, 0);
+    return;
+  }
+  if (s == AdmissionService::Submit::kHorizon) {
+    // Detail carries the watermark's second so the client can resync.
+    const double w = service_.watermark();
+    send_error(c, WireError::kHorizon,
+               w < 0.0 ? 0 : static_cast<std::uint32_t>(w));
     return;
   }
   last_submit_wall_ = now_s();

@@ -62,6 +62,10 @@ struct NetConfig {
   /// Global cap on undecided requests (drop-oldest beyond it).
   std::size_t pending_cap = 8192;
 
+  /// Max simulated seconds an arrival may run ahead of the watermark;
+  /// further gets a `horizon` error (see AdmissionService).
+  double max_skew_s = AdmissionService::kDefaultMaxSkewS;
+
   double read_timeout_s = 30.0;   ///< partial frame stalled this long
   double write_timeout_s = 30.0;  ///< backlog made no progress this long
   double idle_timeout_s = 300.0;  ///< no traffic at all this long

@@ -73,12 +73,21 @@ std::uint16_t local_port(int fd) {
   return ntohs(addr.sin_port);
 }
 
-UniqueFd accept_conn(int listen_fd) {
+UniqueFd accept_conn(int listen_fd, bool* exhausted) {
+  if (exhausted != nullptr) *exhausted = false;
   const int fd = ::accept(listen_fd, nullptr, nullptr);
   if (fd < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
         errno == ECONNABORTED)
       return UniqueFd();
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      // Out of fds/memory: shed this connection, keep serving the ones we
+      // have.  fds free up as timeouts reap connections; until then the
+      // level-triggered listener re-reports readability each poll pass.
+      if (exhausted != nullptr) *exhausted = true;
+      return UniqueFd();
+    }
     throw SocketError("accept", "", errno);
   }
   UniqueFd conn(fd);

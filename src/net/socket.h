@@ -62,8 +62,10 @@ std::uint16_t local_port(int fd);
 /// invalid fd when the accept queue is empty (EAGAIN); throws SocketError
 /// on real failures (except the transient per-connection ones, which
 /// report as empty too — the listener must survive a client that vanished
-/// between accept and setup).
-UniqueFd accept_conn(int listen_fd);
+/// between accept and setup).  Resource exhaustion (EMFILE/ENFILE/
+/// ENOBUFS/ENOMEM) is transient too: the connection is shed, not the
+/// server; `exhausted` (optional) is set true so callers can count it.
+UniqueFd accept_conn(int listen_fd, bool* exhausted = nullptr);
 
 /// Blocking client connect (loadgen, tests).  TCP_NODELAY applied.
 UniqueFd connect_tcp(const std::string& host, std::uint16_t port);

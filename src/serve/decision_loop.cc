@@ -158,14 +158,18 @@ std::span<const cac::AdmissionDecision> ShardCore::process_batch(
     bool admitted = decisions_[k].admitted;
     if (admitted) {
       // decide_batch scores requests as-if independent; re-check physical
-      // capacity at apply time and demote over-admissions.
+      // capacity at apply time and demote over-admissions.  An id already
+      // holding bandwidth demotes the same way — ids are client-controlled
+      // on the socket path, so a duplicate in-flight id must degrade to a
+      // rejection, not trip allocate()'s precondition.
       cellular::Connection conn;
       conn.id = req.id;
       conn.service = req.service;
       conn.bandwidth = req.bandwidth;
       conn.priority = req.priority;
       conn.origin = req.kind;
-      admitted = bs.allocate(conn, req.now, /*via_handoff=*/handoff);
+      admitted = !bs.holds(req.id) &&
+                 bs.allocate(conn, req.now, /*via_handoff=*/handoff);
       if (admitted) {
         policy_->on_admitted(req, bs);
         expiries_.push_back({req.now + holding_s[k], req.id, req.service});

@@ -179,6 +179,60 @@ TEST(AdmissionService, RejectsArrivalsBelowTheWatermark) {
   EXPECT_EQ(service.submitted(), 2u);
 }
 
+TEST(AdmissionService, RejectsArrivalsBeyondTheSkewHorizon) {
+  // One frame far in the future must not finalize quintillions of empty
+  // seconds inline: it is refused, enqueues nothing and moves no state.
+  AdmissionService service(tiny_config(128), 1 << 20, 16,
+                           /*max_skew_s=*/10.0);
+  EXPECT_EQ(service.submit(1, request_at(9e18, 1)),
+            AdmissionService::Submit::kHorizon);
+  EXPECT_EQ(service.submit(1, request_at(10.5, 2)),
+            AdmissionService::Submit::kHorizon);  // virgin watermark is 0
+  EXPECT_EQ(service.submitted(), 0u);
+  EXPECT_EQ(service.pending(), 0u);
+  EXPECT_TRUE(service.telemetry().empty());
+  EXPECT_EQ(service.watermark(), -1.0);
+
+  // At the horizon is fine, and the horizon slides with the watermark.
+  EXPECT_EQ(service.submit(1, request_at(10.0, 3)),
+            AdmissionService::Submit::kAccepted);
+  EXPECT_EQ(service.submit(1, request_at(20.0, 4)),
+            AdmissionService::Submit::kAccepted);
+  EXPECT_EQ(service.submit(1, request_at(30.5, 5)),
+            AdmissionService::Submit::kHorizon);
+  EXPECT_EQ(service.watermark(), 20.0);
+  EXPECT_EQ(service.submitted(), 2u);
+
+  service.drain();
+  EXPECT_EQ(service.telemetry().size(), 21u);  // seconds 0..20
+}
+
+TEST(AdmissionService, DuplicateInFlightIdDemotesInsteadOfThrowing) {
+  // Connection ids are client-controlled on the socket path: a second
+  // admitted request with an id still holding bandwidth on the same shard
+  // must come back not-admitted, never trip allocate()'s precondition.
+  AdmissionService service(tiny_config(/*batch_max=*/1), 1 << 20, 16);
+  int responses = 0;
+  int admitted = 0;
+  AdmissionService::Callbacks cb;
+  cb.on_decision = [&](std::uint64_t, const cac::AdmissionRequest&,
+                       const cac::AdmissionDecision& d) {
+    ++responses;
+    if (d.admitted) ++admitted;
+  };
+  service.set_callbacks(std::move(cb));
+
+  serve::StampedRequest first = request_at(0.1, 77);
+  first.holding_s = 60.0;  // still held when the duplicate arrives
+  serve::StampedRequest dup = request_at(0.2, 77);
+  ASSERT_EQ(service.submit(1, first), AdmissionService::Submit::kAccepted);
+  ASSERT_EQ(service.submit(2, dup), AdmissionService::Submit::kAccepted);
+  service.drain();
+
+  EXPECT_EQ(responses, 2);
+  EXPECT_LE(admitted, 1);  // the duplicate can never hold bandwidth twice
+}
+
 TEST(AdmissionService, ShedsOldestAtThePendingCap) {
   // window = 1 s and all arrivals inside [0, 1): nothing closes a batch by
   // time, and with two shards neither reaches batch_max before the global

@@ -277,6 +277,98 @@ TEST_P(EventLoopTest, TimeOrderViolationGetsError) {
   EXPECT_TRUE(saw_error);
 }
 
+TEST_P(EventLoopTest, FarFutureArrivalGetsHorizonErrorAndServerSurvives) {
+  start();
+  {
+    // One frame claiming now = 9e18 used to wedge the loop finalizing
+    // quintillions of empty seconds; it must bounce at decode instead.
+    UniqueFd hostile = connect_client(server_->admission_port());
+    send_request(hostile.get(), request_at(9e18, 1));
+    Frame f;
+    ASSERT_TRUE(read_frame(hostile.get(), f));
+    ASSERT_EQ(f.header.type, FrameType::kError);
+    ErrorFrame e;
+    ASSERT_EQ(decode_error(f.payload.data(), f.payload.size(), e),
+              WireError::kNone);
+    EXPECT_EQ(e.code, WireError::kBadValue);
+    EXPECT_FALSE(read_frame(hostile.get(), f));  // closed after the error
+  }
+  {
+    // Decodable but beyond the watermark-relative skew horizon: typed
+    // horizon error, connection closed, server still alive.
+    UniqueFd skewed = connect_client(server_->admission_port());
+    send_request(skewed.get(), request_at(1.0e9, 2));
+    Frame f;
+    ASSERT_TRUE(read_frame(skewed.get(), f));
+    ASSERT_EQ(f.header.type, FrameType::kError);
+    ErrorFrame e;
+    ASSERT_EQ(decode_error(f.payload.data(), f.payload.size(), e),
+              WireError::kNone);
+    EXPECT_EQ(e.code, WireError::kHorizon);
+    EXPECT_FALSE(read_frame(skewed.get(), f));
+  }
+  // Everyone else is still being served.
+  UniqueFd fd = connect_client(server_->admission_port());
+  send_request(fd.get(), request_at(0.5, 3));
+  send_flush(fd.get());
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  EXPECT_EQ(f.header.type, FrameType::kResponse);
+}
+
+TEST_P(EventLoopTest, NonPositiveBandwidthGetsErrorNotACrash) {
+  start();
+  {
+    UniqueFd bad = connect_client(server_->admission_port());
+    serve::StampedRequest r = request_at(0.1, 9);
+    r.req.bandwidth = 0.0;
+    send_request(bad.get(), r);
+    Frame f;
+    ASSERT_TRUE(read_frame(bad.get(), f));
+    ASSERT_EQ(f.header.type, FrameType::kError);
+    ErrorFrame e;
+    ASSERT_EQ(decode_error(f.payload.data(), f.payload.size(), e),
+              WireError::kNone);
+    EXPECT_EQ(e.code, WireError::kBadValue);
+  }
+  UniqueFd fd = connect_client(server_->admission_port());
+  send_request(fd.get(), request_at(0.2, 10));
+  send_flush(fd.get());
+  Frame f;
+  ASSERT_TRUE(read_frame(fd.get(), f));
+  EXPECT_EQ(f.header.type, FrameType::kResponse);
+}
+
+TEST_P(EventLoopTest, DuplicateInFlightIdIsDemotedNotFatal) {
+  start();
+  UniqueFd fd = connect_client(server_->admission_port());
+  // Both id-7 requests land on the same shard (seq 0 and 2 of seq%2) with
+  // overlapping holding times — the loadgen --repeat shape that used to
+  // trip BaseStation::allocate's !holds precondition and kill the server.
+  send_request(fd.get(), request_at(0.10, 7));
+  send_request(fd.get(), request_at(0.11, 500));
+  send_request(fd.get(), request_at(0.12, 7));
+  send_flush(fd.get());
+
+  int responses_for_7 = 0;
+  int admitted_for_7 = 0;
+  Frame f;
+  for (;;) {
+    ASSERT_TRUE(read_frame(fd.get(), f));
+    if (f.header.type == FrameType::kFlush) break;
+    ASSERT_EQ(f.header.type, FrameType::kResponse);
+    ResponseFrame r;
+    ASSERT_EQ(decode_response(f.payload.data(), f.payload.size(), r),
+              WireError::kNone);
+    if (r.id == 7u) {
+      ++responses_for_7;
+      if (r.admitted) ++admitted_for_7;
+    }
+  }
+  EXPECT_EQ(responses_for_7, 2);
+  EXPECT_LE(admitted_for_7, 1);  // duplicate demoted, never held twice
+}
+
 TEST_P(EventLoopTest, OneByteAtATimeWritesStillParse) {
   start();
   UniqueFd fd = connect_client(server_->admission_port());

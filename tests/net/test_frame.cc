@@ -149,6 +149,43 @@ TEST(Frame, RequestRejectsNonFiniteAndNegative) {
   EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadValue);
 }
 
+TEST(Frame, RequestRejectsNonPositiveBandwidth) {
+  // A bandwidth <= 0 that the policy admits would trip BaseStation::
+  // allocate's precondition — it must die at decode instead.
+  std::uint8_t buf[kRequestPayloadSize];
+  serve::StampedRequest d;
+
+  serve::StampedRequest r = sample_request();
+  r.req.bandwidth = 0.0;
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadValue);
+
+  r = sample_request();
+  r.req.bandwidth = -1.0;
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadValue);
+
+  r = sample_request();
+  r.req.bandwidth = std::numeric_limits<double>::denorm_min();
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kNone);
+}
+
+TEST(Frame, RequestRejectsAbsurdArrivalTime) {
+  std::uint8_t buf[kRequestPayloadSize];
+  serve::StampedRequest d;
+
+  serve::StampedRequest r = sample_request();
+  r.req.now = 9e18;  // would overflow / wedge second finalization
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kBadValue);
+
+  r = sample_request();
+  r.req.now = kMaxArrivalS;  // the cap itself is still decodable
+  encode_request(r, buf);
+  EXPECT_EQ(decode_request(buf, sizeof buf, d), WireError::kNone);
+}
+
 TEST(Frame, RequestRejectsWrongLength) {
   std::uint8_t buf[kRequestPayloadSize];
   encode_request(sample_request(), buf);
@@ -200,6 +237,7 @@ TEST(Frame, WireErrorNamesAreStable) {
   EXPECT_STREQ(wire_error_name(WireError::kBadVersion), "bad-version");
   EXPECT_STREQ(wire_error_name(WireError::kOversized), "oversized");
   EXPECT_STREQ(wire_error_name(WireError::kTimeOrder), "time-order");
+  EXPECT_STREQ(wire_error_name(WireError::kHorizon), "horizon");
   EXPECT_STREQ(wire_error_name(static_cast<WireError>(999)), "unknown");
 }
 
@@ -243,7 +281,9 @@ TEST(FrameFuzz, RandomRequestPayloadsNeverCrash) {
       // Whatever got through must honor the decode contract.
       EXPECT_TRUE(std::isfinite(d.req.now));
       EXPECT_GE(d.req.now, 0.0);
+      EXPECT_LE(d.req.now, kMaxArrivalS);
       EXPECT_GE(d.holding_s, 0.0);
+      EXPECT_GT(d.req.bandwidth, 0.0);
     } else {
       EXPECT_TRUE(e == WireError::kBadEnum || e == WireError::kBadValue);
     }
