@@ -7,6 +7,8 @@
 //
 // Committed numbers live in BENCH_multicell.json.  Overrides:
 //   FACSP_BENCH_REPS   replications per engine timing loop (default 8)
+//   FACSP_BENCH_JSON   also write the json line to this path (CI feeds it
+//                      to tools/check_bench_regression.py --rate)
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -30,6 +32,7 @@ void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -140,6 +143,104 @@ int main() {
             "_events_s\": " + std::to_string(n.events_s);
   }
 
+  // --- sparse grids: event-driven scheduling ------------------------------
+  // City-scale grids with one generating neighbourhood: epoch cost must
+  // track ACTIVE shards, not grid size.  events/s here is dominated by how
+  // cheaply the engine skips the quiet 99%+ of the grid.
+  std::printf("\n=== Sparse grids: workload_cells=1, N=60 ===\n\n");
+  std::printf("  %-8s %10s %14s %16s %14s\n", "cells", "runs/s", "events/s",
+              "sessions-peak", "drains/epoch");
+  for (const int cells : {100, 1000}) {
+    core::ScenarioConfig scen =
+        workload::catalog_scenario("multicell-handover-storm");
+    core::apply_scenario_key(scen, "sim.cells", std::to_string(cells));
+    core::apply_scenario_key(scen, "sim.workload_cells", "1");
+    scen.validate();
+    const int sparse_reps = cells >= 1000 ? std::max(1, kReps / 4) : kReps;
+    const EngineNumbers n = time_engine(scen, 60, sparse_reps);
+
+    // One extra observed run for the schedule shape: peak resident sessions
+    // and drained shards per barrier (the bulk-synchronous engine would
+    // drain `cells` every epoch).
+    std::uint64_t sessions_peak = 0, epochs = 0, drains = 0;
+    {
+      core::MultiCellEngine engine(scen, core::make_facs_p_factory(), 0);
+      engine.set_epoch_observer(
+          [&](const core::MultiCellEngine::EpochStats& es) {
+            ++epochs;
+            if (es.active_sessions > sessions_peak)
+              sessions_peak = es.active_sessions;
+          });
+      const std::uint64_t drained0 =
+          obs::Registry::instance().counter("engine.shards_drained").value();
+      obs::set_metrics_enabled(true);
+      engine.run(60);
+      obs::set_metrics_enabled(false);
+      drains = obs::Registry::instance().counter("engine.shards_drained")
+                   .value() -
+               drained0;
+    }
+    const double drains_per_epoch =
+        epochs == 0 ? 0.0
+                    : static_cast<double>(drains) / static_cast<double>(epochs);
+    std::printf("  %-8d %10.2f %14.0f %16llu %14.1f\n", cells, n.runs_s,
+                n.events_s, static_cast<unsigned long long>(sessions_peak),
+                drains_per_epoch);
+    json += ", \"sparse" + std::to_string(cells) +
+            "_events_s\": " + std::to_string(n.events_s) + ", \"sparse" +
+            std::to_string(cells) +
+            "_sessions_peak\": " + std::to_string(sessions_peak);
+
+    // The engine must not sweep the grid: drained shards stay well under
+    // 1/10th of the bulk-synchronous cells-per-epoch cost.
+    if (drains * 10 > static_cast<std::uint64_t>(cells) * epochs) {
+      std::fprintf(stderr,
+                   "FAIL: sparse %d-cell grid drained %llu shards over %llu "
+                   "epochs (expected <= cells*epochs/10)\n",
+                   cells, static_cast<unsigned long long>(drains),
+                   static_cast<unsigned long long>(epochs));
+      ++failures;
+    }
+  }
+
+  // --- observer path: steady-state allocation audit -----------------------
+  // The epoch observer must not buy per-epoch allocations: EpochStats and
+  // its routes buffer persist across barriers, so an observed run may
+  // allocate only the one-time buffer growth (geometric, <= ~64 calls)
+  // over an unobserved but otherwise identical run.
+  {
+    core::ScenarioConfig scen =
+        workload::catalog_scenario("multicell-handover-storm");
+    const auto run_once = [&scen](bool observed) {
+      core::MultiCellEngine engine(scen, core::make_facs_p_factory(), 0);
+      std::uint64_t sink = 0;
+      if (observed)
+        engine.set_epoch_observer(
+            [&sink](const core::MultiCellEngine::EpochStats& es) {
+              sink += es.departures + es.routes.size();
+            });
+      const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+      engine.run(100);
+      return g_alloc_count.load(std::memory_order_relaxed) - before;
+    };
+    run_once(false);  // warm catalog/config one-time state
+    const std::size_t plain = run_once(false);
+    const std::size_t observed = run_once(true);
+    const std::size_t extra = observed > plain ? observed - plain : 0;
+    std::printf(
+        "\n  observer-path allocations: %zu observed vs %zu plain "
+        "(+%zu, budget 64)\n",
+        observed, plain, extra);
+    json += ", \"observer_allocs\": " + std::to_string(extra);
+    if (extra > 64) {
+      std::fprintf(stderr,
+                   "FAIL: epoch observer added %zu allocations over an "
+                   "unobserved run (expected one-time buffer growth <= 64)\n",
+                   extra);
+      ++failures;
+    }
+  }
+
   // --- bit-identity across engine thread counts ---------------------------
   {
     core::ScenarioConfig scen =
@@ -247,5 +348,14 @@ int main() {
 
   json += "}";
   std::printf("\n  json: %s\n", json.c_str());
+  if (const char* path = std::getenv("FACSP_BENCH_JSON")) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "FAIL: cannot write FACSP_BENCH_JSON=%s\n", path);
+      ++failures;
+    }
+  }
   return failures == 0 ? 0 : 1;
 }

@@ -63,6 +63,9 @@ int usage(const char* argv0, FILE* dst) {
       "  --cell-threads <int>    override sim.threads: workers draining\n"
       "                          shards in parallel, 0 = all cores (pure\n"
       "                          throughput knob, bit-identical results)\n"
+      "  --workload-cells <int>  override sim.workload_cells: only the\n"
+      "                          first k spiral cells offer fresh traffic\n"
+      "                          (sparse grids; 0 = every cell generates)\n"
       "\n"
       "Sweep axes (any of these selects sweep mode):\n"
       "  --policies <p1,p2,...>  policy axis (see --list-policies)\n"
@@ -164,6 +167,7 @@ struct Options {
   std::optional<std::uint64_t> seed;
   std::optional<int> cells;
   std::optional<int> cell_threads;
+  std::optional<int> workload_cells;
   std::vector<std::string> policies;
   std::vector<SweepAxisArg> sweeps;
   std::optional<std::string> out;
@@ -333,7 +337,8 @@ int run(const Options& opt) {
   if (opt.seed) base.seed = *opt.seed;
   if (opt.cells) base.multicell.cells = *opt.cells;
   if (opt.cell_threads) base.multicell.threads = *opt.cell_threads;
-  if (opt.cells || opt.cell_threads) base.validate();
+  if (opt.workload_cells) base.multicell.workload_cells = *opt.workload_cells;
+  if (opt.cells || opt.cell_threads || opt.workload_cells) base.validate();
 
   // Multi-cell single runs surface per-cell rows via the engine directly;
   // sweeps keep aggregating (the engine runs inside every sweep cell).
@@ -573,6 +578,9 @@ int main(int argc, char** argv) {
       } else if (arg == "--cell-threads") {
         opt.cell_threads =
             parse_int(flag_value(i, "--cell-threads"), "--cell-threads");
+      } else if (arg == "--workload-cells") {
+        opt.workload_cells =
+            parse_int(flag_value(i, "--workload-cells"), "--workload-cells");
       } else if (arg == "--policies") {
         if (!opt.policies.empty()) throw ConfigError("policy axis given twice");
         opt.policies = split_csv(flag_value(i, "--policies"));

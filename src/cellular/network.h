@@ -39,9 +39,17 @@ class CellularNetwork {
   BaseStation* station_covering(const Point& p) noexcept;
   const BaseStation* station_covering(const Point& p) const noexcept;
 
-  /// All stations (stable order: disc enumeration).
+  /// All stations (stable order: disc enumeration).  Builds a fresh pointer
+  /// vector — convenience for setup/teardown code, not for per-epoch loops.
   std::vector<BaseStation*> stations();
   std::vector<const BaseStation*> stations() const;
+
+  /// Allocation-free indexed access (same disc-enumeration order as
+  /// stations()) for loops that run every epoch — the multi-cell engine's
+  /// barrier epilogue sums per-BS load across the whole grid.
+  const BaseStation& station(std::size_t i) const noexcept {
+    return *stations_[i];
+  }
 
   /// In-disc neighbours of a cell (up to 6).
   std::vector<BaseStation*> neighbors_of(const HexCoord& coord);

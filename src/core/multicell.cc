@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/expects.h"
 #include "common/math_util.h"
@@ -17,6 +18,8 @@ namespace {
 /// afterwards every epoch just dereferences cached references.
 struct EngineMetrics {
   obs::Counter& epochs;
+  obs::Counter& epochs_skipped;
+  obs::Counter& shards_drained;
   obs::Counter& routed;
   obs::Counter& left_world;
   obs::Counter& admitted;
@@ -28,6 +31,8 @@ struct EngineMetrics {
   static EngineMetrics& get() {
     static EngineMetrics m{
         obs::Registry::instance().counter("engine.epochs"),
+        obs::Registry::instance().counter("engine.epochs_skipped"),
+        obs::Registry::instance().counter("engine.shards_drained"),
         obs::Registry::instance().counter("engine.handover.routed"),
         obs::Registry::instance().counter("engine.handover.left_world"),
         obs::Registry::instance().counter("engine.handover.admitted"),
@@ -39,6 +44,13 @@ struct EngineMetrics {
     return m;
   }
 };
+
+/// Deterministic adaptive-epoch thresholds: a barrier delivering more than
+/// kDense inter-cell handovers halves the epoch (tighter coupling deserves
+/// finer windows); fewer than kSparse doubles it.  Pure functions of the
+/// serial barrier's counters, so adaptation is thread-count-invariant.
+constexpr std::uint64_t kDenseHandoversPerEpoch = 32;
+constexpr std::uint64_t kSparseHandoversPerEpoch = 4;
 
 /// Disjoint per-shard connection-id namespaces: migrating sessions keep
 /// their origin ids, so no two shards may ever mint the same one.  2^40
@@ -140,19 +152,30 @@ cellular::MobileState MultiCellEngine::entry_state(
 }
 
 void MultiCellEngine::route_epoch(sim::SimTime t_end) {
-  EpochStats es;
+  // stats_ is a member so the per-barrier buffers (routes in particular)
+  // persist: clear() keeps capacity, and steady-state barriers allocate
+  // nothing even with an observer attached (bench_multicell audits this).
+  EpochStats& es = stats_;
   es.t_end = t_end;
+  es.departures = es.delivered = es.left_world = 0;
+  es.admitted = es.dropped = 0;
+  es.routes.clear();
+  es.active_sessions = 0;
+  es.used_bu = 0.0;
 
-  for (Shard& sh : shards_) sh.inbox.clear();
+  // Inbox invariant: every inbox is empty here — phase 2 clears each one it
+  // fills, right after processing it.  Only drained shards can hold outbox
+  // records, so iterating the (ascending) drain list visits exactly the
+  // shards the historical all-cells sweep routed, in the same order.
+  touched_.clear();
 
   // Phase 1 — route departures, in fixed (cell, drain-event) order.
-  for (std::size_t k = 0; k < shards_.size(); ++k) {
-    Shard& src = shards_[k];
+  for (const int k : drain_) {
+    Shard& src = shards_[static_cast<std::size_t>(k)];
     for (SessionDriver::CellDeparture& dep : src.outbox) {
       ++es.departures;
-      const int dst =
-          route_target(static_cast<int>(k), dep.state.heading_deg);
-      if (observer_) es.routes.emplace_back(static_cast<int>(k), dst);
+      const int dst = route_target(k, dep.state.heading_deg);
+      if (observer_) es.routes.emplace_back(k, dst);
       if (dst < 0) {
         // Off the super-grid edge: the call leaves the modelled area as a
         // completion, just like the single-world driver's semantics.
@@ -164,24 +187,29 @@ void MultiCellEngine::route_epoch(sim::SimTime t_end) {
       }
       ++es.delivered;
       ++src.handoffs_out;
-      ++shards_[static_cast<std::size_t>(dst)].handoffs_in;
+      Shard& dsh = shards_[static_cast<std::size_t>(dst)];
+      ++dsh.handoffs_in;
+      if (dsh.inbox.empty()) touched_.push_back(dst);  // first touch
       SessionDriver::CellArrival a;
       a.conn = dep.conn;
       a.state = entry_state(dep);
       a.when = t_end;
       a.remaining_holding_s = dep.remaining_holding_s;
       a.measured = dep.measured;
-      shards_[static_cast<std::size_t>(dst)].inbox.push_back(std::move(a));
+      dsh.inbox.push_back(std::move(a));
     }
     src.outbox.clear();
   }
+  std::sort(touched_.begin(), touched_.end());
 
   // Phase 2 — batched admission: every destination cell's pending inbound
   // handovers of this drain become ONE decide_batch call against its centre
   // BS (one load snapshot per batch; allocation re-checks capacity, so an
   // over-admitting burst degrades into drops, never negative counters).
-  for (Shard& sh : shards_) {
-    if (sh.inbox.empty()) continue;
+  // Ascending cell order — the same order the historical all-cells sweep
+  // processed non-empty inboxes in.
+  for (const int t : touched_) {
+    Shard& sh = shards_[static_cast<std::size_t>(t)];
     sh.requests.clear();
     for (const SessionDriver::CellArrival& a : sh.inbox)
       sh.requests.push_back(sh.driver->inbound_request(a));
@@ -200,14 +228,16 @@ void MultiCellEngine::route_epoch(sim::SimTime t_end) {
         if (a.measured) sh.driver->metrics().record_drop(a.conn.service);
       }
     }
+    sh.inbox.clear();  // restore the invariant for the next barrier
   }
 
   const bool metrics_on = obs::metrics_enabled();
   if (observer_ || metrics_on) {
     for (const Shard& sh : shards_) {
       es.active_sessions += sh.driver->session_count();
-      for (const cellular::BaseStation* bs : sh.driver->network().stations())
-        es.used_bu += bs->load().used;
+      const cellular::CellularNetwork& net = sh.driver->network();
+      for (std::size_t b = 0; b < net.cell_count(); ++b)
+        es.used_bu += net.station(b).load().used;
     }
     if (metrics_on) {
       EngineMetrics& m = EngineMetrics::get();
@@ -223,50 +253,166 @@ void MultiCellEngine::route_epoch(sim::SimTime t_end) {
   }
 }
 
+void MultiCellEngine::activate(int cell) {
+  if (active_pos_[static_cast<std::size_t>(cell)] >= 0) return;
+  active_pos_[static_cast<std::size_t>(cell)] =
+      static_cast<int>(active_.size());
+  active_.push_back(cell);
+}
+
+void MultiCellEngine::deactivate(int cell) {
+  const int pos = active_pos_[static_cast<std::size_t>(cell)];
+  if (pos < 0) return;
+  const int last = active_.back();
+  active_[static_cast<std::size_t>(pos)] = last;
+  active_pos_[static_cast<std::size_t>(last)] = pos;
+  active_.pop_back();
+  active_pos_[static_cast<std::size_t>(cell)] = -1;
+}
+
 MultiCellResult MultiCellEngine::run(int n_requests_per_cell) {
   FACSP_EXPECTS(!started_);
   started_ = true;
 
-  for (Shard& sh : shards_) {
+  const int wc = scenario_.multicell.workload_cells;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& sh = shards_[k];
     Shard* self = &sh;  // shards_ is stable from here on
     sh.driver->set_departure_sink(
         [self](SessionDriver::CellDeparture dep) {
           self->outbox.push_back(std::move(dep));
         });
-    sh.driver->begin(n_requests_per_cell);
+    // workload_cells > 0 restricts fresh traffic to the first spiral cells;
+    // the rest start empty (and idle) and only ever light up on inbound
+    // handovers — the sparse-grid regime the event-driven scheduler exists
+    // for.
+    sh.driver->begin(wc > 0 && static_cast<int>(k) >= wc
+                         ? 0
+                         : n_requests_per_cell);
   }
+
+  // Seed the active index: exactly the shards whose begin() scheduled work.
+  active_.clear();
+  active_.reserve(shards_.size());
+  active_pos_.assign(shards_.size(), -1);
+  drain_.reserve(shards_.size());
+  touched_.reserve(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k)
+    if (!shards_[k].driver->idle()) activate(static_cast<int>(k));
 
   // Never spawn more workers than there are shards to drain: run_single
   // builds an engine per replication, so surplus threads would be pure
   // spawn/join overhead (results are thread-count-invariant either way).
+  // parallel_for additionally clamps each epoch's helper count to that
+  // epoch's drain-list size, so a mostly-idle grid never wakes the full
+  // pool.
   sim::ThreadPool pool(static_cast<unsigned>(std::min<std::size_t>(
       sim::ThreadPool::resolve_threads(scenario_.multicell.threads),
       shards_.size())));
-  const sim::SimTime dt = scenario_.multicell.epoch_s;
+  // Per-shard drain-time histograms, resolved lazily (registration takes the
+  // registry mutex — engine thread only) the first time a shard drains with
+  // metrics on.  Entries ride the name-sorted snapshot machinery as
+  // "engine.shard_drain_ns{shard=k}".
+  std::vector<obs::Histogram*> shard_hist(shards_.size(), nullptr);
+
+  const bool adaptive = scenario_.multicell.epoch_adaptive;
+  sim::SimTime dt = scenario_.multicell.epoch_s;
   const sim::SimTime horizon = scenario_.horizon_s;
   sim::SimTime t = 0.0;
-  while (t < horizon) {
-    bool any = false;
-    for (const Shard& sh : shards_) any = any || !sh.driver->idle();
-    if (!any) break;
-    const sim::SimTime t_end = std::min(t + dt, horizon);
-    obs::Histogram* const drain_hist =
-        obs::metrics_enabled() ? &EngineMetrics::get().drain_ns : nullptr;
-    obs::Histogram* const barrier_hist =
-        obs::metrics_enabled() ? &EngineMetrics::get().barrier_ns : nullptr;
+  while (t < horizon && !active_.empty()) {
+    const bool metrics_on = obs::metrics_enabled();
+    sim::SimTime t_end = std::min(t + dt, horizon);
+    if (!force_full_drains_) {
+      sim::SimTime t_next = std::numeric_limits<sim::SimTime>::infinity();
+      for (const int k : active_)
+        t_next = std::min(
+            t_next, shards_[static_cast<std::size_t>(k)].driver
+                        ->next_event_time());
+      // Fast-forward over provably empty epochs, boundary by boundary: the
+      // repeated `t + dt` additions retrace exactly the float sequence the
+      // bulk-synchronous engine would have produced, so later boundaries —
+      // and every arrival timestamp derived from them — stay bit-identical.
+      std::uint64_t skipped = 0;
+      while (t_next > t_end && t_end < horizon) {
+        t = t_end;
+        t_end = std::min(t + dt, horizon);
+        ++skipped;
+      }
+      if (metrics_on && skipped > 0)
+        EngineMetrics::get().epochs_skipped.add(skipped);
+      // Earliest pending event past the horizon: nothing left can fire
+      // (the historical engine idled through these epochs to the same
+      // result).
+      if (t_next > t_end) break;
+    }
+
+    // Drain list: active shards with an event inside this window, ascending
+    // so the serial barrier routes in the historical fixed order.  Shards
+    // woken mid-epoch (activated at the previous barrier with an arrival at
+    // its t_end) naturally qualify here.
+    drain_.clear();
+    if (force_full_drains_) {
+      for (std::size_t k = 0; k < shards_.size(); ++k)
+        drain_.push_back(static_cast<int>(k));
+    } else {
+      for (const int k : active_)
+        if (shards_[static_cast<std::size_t>(k)].driver->next_event_time() <=
+            t_end)
+          drain_.push_back(k);
+      std::sort(drain_.begin(), drain_.end());
+    }
+
+    obs::Histogram* drain_hist = nullptr;
+    obs::Histogram* barrier_hist = nullptr;
+    if (metrics_on) {
+      EngineMetrics& m = EngineMetrics::get();
+      drain_hist = &m.drain_ns;
+      barrier_hist = &m.barrier_ns;
+      m.shards_drained.add(drain_.size());
+      for (const int k : drain_) {
+        obs::Histogram*& h = shard_hist[static_cast<std::size_t>(k)];
+        if (h == nullptr)
+          h = &obs::Registry::instance().histogram(
+              obs::labeled("engine.shard_drain_ns", "shard", k));
+      }
+    }
     {
       FACSP_TRACE_SPAN("engine", "epoch");
       // Parallel drain: share-nothing — each shard touches only its own
       // driver/policy/outbox, so worker scheduling cannot affect results.
-      pool.parallel_for(shards_.size(), [&](std::size_t i) {
-        obs::ScopedSpan drain("engine", "shard_drain",
-                              static_cast<std::int64_t>(i), drain_hist);
-        shards_[i].driver->advance_until(t_end);
+      pool.parallel_for(drain_.size(), [&](std::size_t i) {
+        const int k = drain_[i];
+        obs::ScopedSpan drain(
+            "engine", "shard_drain", static_cast<std::int64_t>(k),
+            drain_hist,
+            drain_hist != nullptr
+                ? shard_hist[static_cast<std::size_t>(k)]
+                : nullptr);
+        shards_[static_cast<std::size_t>(k)].driver->advance_until(t_end);
       });
       // Serial barrier: routing + batched admission in fixed order.
       obs::ScopedSpan barrier("engine", "barrier", obs::Tracer::kNoArg,
                               barrier_hist);
       route_epoch(t_end);
+    }
+
+    // Membership maintenance, on the engine thread at the barrier: drained
+    // shards that ran dry leave the index; destinations the barrier just
+    // handed work to (re-)enter it.  Order matters — a drained shard whose
+    // only future work is an inbound admission it just received is
+    // deactivated then immediately re-activated via touched_.
+    for (const int k : drain_)
+      if (shards_[static_cast<std::size_t>(k)].driver->idle()) deactivate(k);
+    for (const int k : touched_)
+      if (!shards_[static_cast<std::size_t>(k)].driver->idle()) activate(k);
+
+    if (adaptive) {
+      // Deterministic controller on the serial barrier's handover count:
+      // dense coupling tightens the window, near-empty barriers widen it.
+      if (stats_.delivered > kDenseHandoversPerEpoch)
+        dt = std::max(scenario_.multicell.epoch_min_s, dt * 0.5);
+      else if (stats_.delivered < kSparseHandoversPerEpoch)
+        dt = std::min(scenario_.multicell.epoch_max_s, dt * 2.0);
     }
     t = t_end;
   }

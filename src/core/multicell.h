@@ -4,12 +4,19 @@
 // sim::ThreadPool with explicit inter-cell handovers exchanged at the
 // epoch barriers.
 //
-// Execution model
+// Execution model (event-driven since PR 10)
 //
 //   while any shard has pending events:
-//     parallel:  every shard drains its own event queue up to t + epoch_s,
-//                collecting sessions that crossed its service-area boundary
-//                into a shard-local outbox (no shared state is touched);
+//     schedule:  the engine keeps an incrementally maintained index of
+//                *active* shards (those with pending events).  Epochs whose
+//                window provably contains no event anywhere are skipped —
+//                the clock fast-forwards boundary by boundary to the one
+//                holding the earliest event, without touching a shard;
+//     parallel:  only shards with an event <= t_end drain their own event
+//                queues, collecting sessions that crossed the service-area
+//                boundary into shard-local outboxes (no shared state is
+//                touched).  Shards woken mid-epoch by an inbound handover
+//                join the *next* drain, preserving barrier semantics;
 //     barrier:   departures are routed serially in fixed (cell, event)
 //                order to the hex neighbour matching the exit heading —
 //                or complete if they fall off the super-grid edge — and
@@ -20,13 +27,26 @@
 //                in the destination at the epoch boundary; rejected or
 //                over-admitted ones are dropped (handoff failure).
 //
+// Epoch cost is therefore proportional to ACTIVE shards, not grid size: a
+// 1000-cell grid with one busy neighbourhood drains a handful of shards per
+// epoch and fast-forwards through quiet stretches (ctest-enforced via the
+// engine.shards_drained counter).  Skipping is provably a no-op: a drain of
+// a shard with no event <= t_end fires nothing and records nothing, so with
+// `sim.epoch_adaptive` off results are bit-identical to the bulk-synchronous
+// engine — same epoch boundaries (the fast-forward replays the same
+// repeated `t + epoch_s` additions), same delivery timestamps, same RNG
+// draws.  With `sim.epoch_adaptive` on, the epoch length tracks the
+// observed per-epoch handover count within [sim.epoch_min_s,
+// sim.epoch_max_s]; conservation invariants hold but byte goldens don't.
+//
 // Determinism: the parallel phase is share-nothing (each shard owns its
 // driver, policy, scratch and RNG streams, seeded from
 // hash_seed(seed, "cell", cell_id) — cell 0 keeps the legacy roots), and
-// the barrier phase is serial in a fixed order, so results are
-// bit-identical for every thread count.  With cells = 1 the engine
-// degenerates to exactly the historical single-world SessionDriver run,
-// bit for bit (ctest-enforced against the PR 3 golden cells).
+// the barrier phase is serial in a fixed order (ascending cell id over the
+// drain list), so results are bit-identical for every thread count.  With
+// cells = 1 the engine degenerates to exactly the historical single-world
+// SessionDriver run, bit for bit (ctest-enforced against the PR 3 golden
+// cells).
 //
 // See docs/experiments.md ("Multi-cell sharding") for the full argument.
 #pragma once
@@ -90,6 +110,11 @@ class MultiCellEngine {
   using EpochObserver = std::function<void(const EpochStats&)>;
   void set_epoch_observer(EpochObserver obs) { observer_ = std::move(obs); }
 
+  /// Test knob: drain EVERY shard every epoch and never fast-forward —
+  /// the pre-PR-10 bulk-synchronous schedule.  The bit-identity suite runs
+  /// each scenario both ways and compares results byte for byte.
+  void set_force_full_drains(bool force) { force_full_drains_ = force; }
+
   /// Run the replication: every shard offers `n_requests_per_cell` new
   /// calls (shaped by its own spatial map), epochs proceed until every
   /// shard drained or the horizon hit.  Call at most once per engine.
@@ -127,13 +152,26 @@ class MultiCellEngine {
       const SessionDriver::CellDeparture& dep) const;
   void route_epoch(sim::SimTime t_end);
 
+  /// Active-shard index maintenance (swap-remove vector + position map —
+  /// O(1) either way).  A shard is active while its event queue is
+  /// non-empty; membership changes only at barriers, on the engine thread.
+  void activate(int cell);
+  void deactivate(int cell);
+
   ScenarioConfig scenario_;
   std::vector<cellular::HexCoord> coords_;
   std::unordered_map<cellular::HexCoord, int, cellular::HexCoordHash> index_;
   cellular::HexCoord dir_[6] = {};  ///< the six hex neighbour offsets
   double dir_angle_[6] = {};  ///< world angle of each hex neighbour direction
   std::vector<Shard> shards_;
+  std::vector<int> active_;      ///< cells with pending events (unordered)
+  std::vector<int> active_pos_;  ///< cell -> index in active_, or -1
+  std::vector<int> drain_;       ///< this epoch's drain list (ascending)
+  std::vector<int> touched_;     ///< cells that received inbound handovers
+  EpochStats stats_;  ///< reused across barriers: steady state allocates
+                      ///< nothing even with an observer attached
   EpochObserver observer_;
+  bool force_full_drains_ = false;
   bool started_ = false;
 };
 

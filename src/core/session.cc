@@ -273,6 +273,10 @@ std::uint64_t SessionDriver::advance_until(sim::SimTime t) {
   return sim_.run_until(t);
 }
 
+sim::SimTime SessionDriver::next_event_time() const {
+  return sim_.next_event_time();
+}
+
 RunResult SessionDriver::result() const {
   RunResult result;
   result.metrics = metrics_;

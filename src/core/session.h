@@ -88,6 +88,12 @@ class SessionDriver {
   /// True when no events remain (the shard drained).
   bool idle() const noexcept { return !sim_.has_pending(); }
 
+  /// Timestamp of the shard's earliest pending event, +infinity when
+  /// idle().  The multi-cell engine's event-driven scheduler reads this to
+  /// decide which shards need a drain this epoch — a shard whose next event
+  /// lies beyond the epoch end can be skipped without touching it.
+  sim::SimTime next_event_time() const;
+
   /// Snapshot of the run's metrics so far (final when idle()).
   RunResult result() const;
 

@@ -227,4 +227,17 @@ void write_snapshot(const std::string& path) {
     reg.write_json(path);
 }
 
+std::string labeled(std::string_view name, std::string_view key,
+                    std::int64_t value) {
+  std::string out;
+  out.reserve(name.size() + key.size() + 24);
+  out.append(name);
+  out.push_back('{');
+  out.append(key);
+  out.push_back('=');
+  out.append(std::to_string(value));
+  out.push_back('}');
+  return out;
+}
+
 }  // namespace facsp::obs

@@ -192,4 +192,13 @@ class Registry {
 /// JSON otherwise.  The `--metrics <file>` CLI flags funnel through this.
 void write_snapshot(const std::string& path);
 
+/// Label-suffixed metric name: `labeled("engine.shard_drain_ns", "shard", 3)`
+/// -> "engine.shard_drain_ns{shard=3}".  The registry treats the result as
+/// an ordinary name, so labelled families ride the existing name-sorted,
+/// byte-stable snapshot machinery unchanged.  Building the string
+/// allocates: resolve labelled metrics once at setup (like any other
+/// registration) and keep the references.
+std::string labeled(std::string_view name, std::string_view key,
+                    std::int64_t value);
+
 }  // namespace facsp::obs

@@ -94,31 +94,37 @@ class Tracer {
 
 /// RAII span: construction stamps the start, destruction records
 /// [start, now) as one trace event.  Optionally mirrors the duration into
-/// an obs::Histogram (when metrics are enabled), so one clock pair feeds
-/// both the trace and the metrics registry.  With tracing and metrics both
-/// off, constructor and destructor are each a load + branch.
+/// one or two obs::Histograms (when metrics are enabled) — an aggregate and
+/// a labelled per-entity family, say — so one clock pair feeds the trace
+/// and the metrics registry.  With tracing and metrics both off,
+/// constructor and destructor are each a load + branch.
 class ScopedSpan {
  public:
   ScopedSpan(const char* cat, const char* name,
              std::int64_t arg = Tracer::kNoArg,
-             Histogram* duration_hist = nullptr) noexcept
+             Histogram* duration_hist = nullptr,
+             Histogram* duration_hist2 = nullptr) noexcept
       : cat_(cat), name_(name), arg_(arg) {
     traced_ = Tracer::enabled();
-    hist_ = (duration_hist != nullptr && metrics_enabled()) ? duration_hist
-                                                            : nullptr;
-    if (traced_ || hist_ != nullptr) start_ = Tracer::Clock::now();
+    const bool metered = metrics_enabled();
+    hist_ = (duration_hist != nullptr && metered) ? duration_hist : nullptr;
+    hist2_ = (duration_hist2 != nullptr && metered) ? duration_hist2
+                                                    : nullptr;
+    if (traced_ || hist_ != nullptr || hist2_ != nullptr)
+      start_ = Tracer::Clock::now();
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   ~ScopedSpan() {
-    if (!traced_ && hist_ == nullptr) return;
+    if (!traced_ && hist_ == nullptr && hist2_ == nullptr) return;
     const Tracer::Clock::time_point end = Tracer::Clock::now();
     const std::uint64_t dur_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
             .count());
     if (hist_ != nullptr) hist_->record(dur_ns);
+    if (hist2_ != nullptr) hist2_->record(dur_ns);
     if (traced_)
       Tracer::record(cat_, name_, Tracer::to_trace_ns(start_), dur_ns, arg_);
   }
@@ -128,6 +134,7 @@ class ScopedSpan {
   const char* name_;
   std::int64_t arg_;
   Histogram* hist_ = nullptr;
+  Histogram* hist2_ = nullptr;
   bool traced_ = false;
   Tracer::Clock::time_point start_{};
 };

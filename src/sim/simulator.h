@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 
 #include "sim/event_queue.h"
 
@@ -45,6 +46,14 @@ class Simulator {
 
   bool has_pending() const noexcept { return !queue_.empty(); }
   std::size_t pending_count() const noexcept { return queue_.size(); }
+
+  /// Timestamp of the earliest pending event, +infinity when none remain.
+  /// Event-driven drivers (core/multicell.h) use this to skip quanta that
+  /// provably contain no work.
+  SimTime next_event_time() const {
+    return queue_.empty() ? std::numeric_limits<SimTime>::infinity()
+                          : queue_.next_time();
+  }
 
   /// Total events fired since construction.
   std::uint64_t events_fired() const noexcept { return fired_; }

@@ -1,5 +1,6 @@
 #include "sim/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <exception>
@@ -135,11 +136,17 @@ void ThreadPool::parallel_for(std::size_t count,
     }
   };
 
-  // The caller is one of the `size_` executors, so only size_ - 1 helper
+  // The caller is one of the `size_` executors, so at most size_ - 1 helper
   // tasks are queued — exactly `size_` threads run the body concurrently,
-  // never size_ + 1.  `body` stays alive because this call blocks below
-  // until every helper reported completion.
-  const int helpers = static_cast<int>(size_) - 1;
+  // never size_ + 1.  Nor are more helpers woken than there are chunks
+  // beyond the caller's first grab: a wide pool over a short loop (the
+  // event-driven multi-cell engine draining 3 active shards of 1000 on 8
+  // workers) stays a 3-thread affair instead of a spawn-and-find-nothing
+  // stampede.  `body` stays alive because this call blocks below until
+  // every helper reported completion.
+  const std::size_t chunks = (count + chunk - 1) / chunk;
+  const int helpers = static_cast<int>(
+      std::min<std::size_t>(size_ - 1, chunks - 1));
   state->pending.store(helpers, std::memory_order_relaxed);
   for (int i = 0; i < helpers; ++i) {
     submit([state, run_chunks] {

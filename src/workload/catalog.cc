@@ -99,6 +99,20 @@ void register_builtins(ScenarioCatalog& catalog) {
                 return s;
               });
 
+  catalog.add("multicell-sparse-100",
+              "100 sharded 500 m cells, fresh traffic only in the centre "
+              "cell: the quiet 99% exercise the engine's event-driven epoch "
+              "skipping and active-shard index",
+              [] {
+                core::ScenarioConfig s = core::paper_scenario();
+                s.rings = 0;
+                s.multicell.cells = 100;
+                s.multicell.workload_cells = 1;
+                s.cell_radius_m = 500.0;
+                s.traffic.arrival_window_s = 450.0;
+                return s;
+              });
+
   catalog.add("mix-shift",
               "service mix shifts video-heavy (40/20/40) halfway through "
               "the window — the ROADMAP's ratio sweep in one scenario",

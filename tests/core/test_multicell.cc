@@ -21,6 +21,7 @@
 #include "cac/policy.h"
 #include "common/error.h"
 #include "core/paper.h"
+#include "obs/metrics.h"
 #include "core/report.h"
 #include "core/sweep.h"
 #include "sim/rng.h"
@@ -305,6 +306,173 @@ TEST(MultiCellConfig, ValidationAndRoundTrip) {
   s.multicell.epoch_s = 5.0;
   s.multicell.entry_fraction = 0.9;  // beyond the hex inradius ratio
   EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(MultiCellConfig, EventDrivenKeysValidate) {
+  ScenarioConfig s = storm_scenario();
+  s.multicell.workload_cells = -1;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s.multicell.workload_cells = 3;
+  s.validate();
+
+  s.multicell.epoch_min_s = 0.0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s.multicell.epoch_min_s = 10.0;
+  s.multicell.epoch_max_s = 5.0;  // max below min
+  EXPECT_THROW(s.validate(), ConfigError);
+  s.multicell.epoch_max_s = 30.0;
+  // Adaptive epochs require the starting epoch_s inside the bounds.
+  s.multicell.epoch_adaptive = true;
+  s.multicell.epoch_s = 5.0;  // below epoch_min_s = 10
+  EXPECT_THROW(s.validate(), ConfigError);
+  s.multicell.epoch_s = 10.0;
+  s.validate();
+}
+
+// --- event-driven scheduling ------------------------------------------------
+
+void expect_same_multicell_result(const MultiCellResult& a,
+                                  const MultiCellResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t k = 0; k < a.cells.size(); ++k) {
+    SCOPED_TRACE("cell=" + std::to_string(k));
+    expect_same_metrics(a.cells[k].run.metrics, b.cells[k].run.metrics);
+    EXPECT_EQ(a.cells[k].run.center_utilization,
+              b.cells[k].run.center_utilization);
+    EXPECT_EQ(a.cells[k].run.duration_s, b.cells[k].run.duration_s);
+    EXPECT_EQ(a.cells[k].run.events, b.cells[k].run.events);
+    EXPECT_EQ(a.cells[k].handoffs_out, b.cells[k].handoffs_out);
+    EXPECT_EQ(a.cells[k].handoffs_in, b.cells[k].handoffs_in);
+    EXPECT_EQ(a.cells[k].left_world, b.cells[k].left_world);
+  }
+  expect_same_metrics(a.aggregate.metrics, b.aggregate.metrics);
+  EXPECT_EQ(a.aggregate.center_utilization, b.aggregate.center_utilization);
+  EXPECT_EQ(a.aggregate.duration_s, b.aggregate.duration_s);
+  EXPECT_EQ(a.aggregate.events, b.aggregate.events);
+}
+
+TEST(MultiCellEngine, EventSkippingIsBitIdenticalToFullDrains) {
+  // The pre-PR-10 bulk-synchronous schedule (every shard drained every
+  // epoch, no fast-forward) and the event-driven schedule must produce
+  // byte-identical results — per cell and aggregate, at every thread count.
+  for (const ScenarioConfig& scen :
+       {paper_scenario(), storm_scenario()}) {
+    for (const int threads : {1, 2, 8}) {
+      SCOPED_TRACE("cells=" + std::to_string(scen.multicell.cells) +
+                   " threads=" + std::to_string(threads));
+      ScenarioConfig s = scen;
+      s.multicell.threads = threads;
+
+      MultiCellEngine full(s, make_facs_p_factory(), 0);
+      full.set_force_full_drains(true);
+      const MultiCellResult base = full.run(60);
+
+      MultiCellEngine skipping(s, make_facs_p_factory(), 0);
+      const MultiCellResult got = skipping.run(60);
+      expect_same_multicell_result(base, got);
+    }
+  }
+}
+
+TEST(MultiCellEngine, WorkloadCellsRestrictsFreshTraffic) {
+  ScenarioConfig s = storm_scenario();
+  s.multicell.workload_cells = 1;
+  MultiCellEngine engine(s, make_facs_p_factory(), 0);
+  const MultiCellResult result = engine.run(40);
+  ASSERT_EQ(result.cells.size(), 7u);
+  EXPECT_EQ(result.cells[0].run.metrics.offered_new(), 40u);
+  for (std::size_t k = 1; k < result.cells.size(); ++k)
+    EXPECT_EQ(result.cells[k].run.metrics.offered_new(), 0u);
+  EXPECT_EQ(result.aggregate.metrics.offered_new(), 40u);
+  // The quiet neighbours still light up on inbound handovers.
+  std::uint64_t in_sum = 0;
+  for (std::size_t k = 1; k < result.cells.size(); ++k)
+    in_sum += result.cells[k].handoffs_in;
+  EXPECT_GT(in_sum, 0u);
+}
+
+TEST(MultiCellEngine, SparseGridDrainsProportionalToActivity) {
+  // 1000 cells, one generating: the engine must drain the active
+  // neighbourhood only, not sweep the grid — >= 10x fewer shard drains
+  // than cells x epochs (the bulk-synchronous cost), per the
+  // engine.shards_drained counter.
+  ScenarioConfig s = storm_scenario();
+  s.multicell.cells = 1000;
+  s.multicell.workload_cells = 1;
+
+  obs::Registry& reg = obs::Registry::instance();
+  const std::uint64_t drained0 = reg.counter("engine.shards_drained").value();
+  const std::uint64_t epochs0 = reg.counter("engine.epochs").value();
+  const std::uint64_t skipped0 = reg.counter("engine.epochs_skipped").value();
+
+  const bool was_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  MultiCellEngine engine(s, make_facs_p_factory(), 0);
+  const MultiCellResult result = engine.run(60);
+  obs::set_metrics_enabled(was_enabled);
+
+  const std::uint64_t drained =
+      reg.counter("engine.shards_drained").value() - drained0;
+  const std::uint64_t epochs = reg.counter("engine.epochs").value() - epochs0;
+  const std::uint64_t skipped =
+      reg.counter("engine.epochs_skipped").value() - skipped0;
+
+  ASSERT_GT(epochs, 0u);
+  ASSERT_GT(drained, 0u);
+  EXPECT_GT(result.aggregate.metrics.offered_new(), 0u);
+  // The bulk-synchronous engine would have drained every cell in every
+  // epoch of the same wall-clock window (drained + skipped epochs).
+  const std::uint64_t bulk_drains = 1000u * (epochs + skipped);
+  EXPECT_LE(drained * 10, bulk_drains)
+      << "drained " << drained << " shards over " << epochs << " epochs (+"
+      << skipped << " skipped)";
+}
+
+TEST(MultiCellEngine, AdaptiveEpochsKeepConservationInvariants) {
+  ScenarioConfig fixed = storm_scenario();
+  std::uint64_t fixed_epochs = 0;
+  {
+    MultiCellEngine engine(fixed, make_facs_p_factory(), 0);
+    engine.set_epoch_observer(
+        [&](const MultiCellEngine::EpochStats&) { ++fixed_epochs; });
+    engine.run(100);
+  }
+
+  ScenarioConfig s = storm_scenario();
+  s.multicell.epoch_adaptive = true;
+  s.multicell.epoch_min_s = 1.0;
+  s.multicell.epoch_max_s = 30.0;
+  MultiCellEngine engine(s, make_facs_p_factory(), 0);
+  std::uint64_t epochs = 0, departures = 0;
+  sim::SimTime prev_end = 0.0;
+  engine.set_epoch_observer([&](const MultiCellEngine::EpochStats& es) {
+    ++epochs;
+    departures += es.departures;
+    // Conservation holds at every barrier regardless of epoch length...
+    ASSERT_EQ(es.delivered + es.left_world, es.departures);
+    ASSERT_EQ(es.admitted + es.dropped, es.delivered);
+    // ...and barriers advance monotonically, never finer than the floor.
+    ASSERT_GE(es.t_end - prev_end, s.multicell.epoch_min_s - 1e-9);
+    prev_end = es.t_end;
+  });
+  const MultiCellResult result = engine.run(100);
+
+  ASSERT_GT(epochs, 0u);
+  ASSERT_GT(departures, 0u);
+  // The controller actually adapted: sparse barriers double the window (and
+  // dense ones halve it), so the barrier count differs from the fixed-dt
+  // schedule of the same scenario.
+  EXPECT_NE(epochs, fixed_epochs);
+  // End-to-end conservation is untouched by adaptation.
+  EXPECT_EQ(result.aggregate.metrics.completed() +
+                result.aggregate.metrics.dropped(),
+            result.aggregate.metrics.accepted_new());
+  std::uint64_t out_sum = 0, in_sum = 0;
+  for (const auto& c : result.cells) {
+    out_sum += c.handoffs_out;
+    in_sum += c.handoffs_in;
+  }
+  EXPECT_EQ(out_sum, in_sum);
 }
 
 }  // namespace

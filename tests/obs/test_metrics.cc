@@ -126,5 +126,27 @@ TEST(ObsMetrics, GlobalSwitchDefaultsOff) {
   EXPECT_FALSE(metrics_enabled());
 }
 
+TEST(ObsMetrics, LabeledBuildsSuffixedNames) {
+  EXPECT_EQ(labeled("engine.shard_drain_ns", "shard", 3),
+            "engine.shard_drain_ns{shard=3}");
+  EXPECT_EQ(labeled("x", "k", 0), "x{k=0}");
+  EXPECT_EQ(labeled("a.b", "cell", -7), "a.b{cell=-7}");
+  // Labelled families are ordinary registry names: same-family entries sort
+  // together (and deterministically) in snapshots because the prefix is
+  // shared and the suffix orders lexicographically per value.
+  Registry reg;
+  reg.counter(labeled("f.ns", "shard", 1));
+  reg.counter(labeled("f.ns", "shard", 0));
+  std::ostringstream a;
+  reg.write_csv(a);
+  Registry reordered;
+  reordered.counter(labeled("f.ns", "shard", 0));
+  reordered.counter(labeled("f.ns", "shard", 1));
+  std::ostringstream b;
+  reordered.write_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("f.ns{shard=0}"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace facsp::obs

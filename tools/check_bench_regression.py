@@ -11,10 +11,19 @@ regressions such as an accidentally disabled fast path).
 For batch benchmarks that report ``items_per_second`` the per-item time
 is compared, matching how the baseline file records them.
 
+``--rate`` switches to flat throughput mode for custom-main benches
+(bench_multicell's ``FACSP_BENCH_JSON`` output): report and baseline are
+both flat ``{"key": number}`` objects, guarded keys are rates
+(higher = better), and a key fails when the fresh rate drops below
+``baseline / factor``.
+
 Usage:
   bench/bench_inference_micro --benchmark_format=json > /tmp/bench.json
   tools/check_bench_regression.py /tmp/bench.json bench/BENCH_inference.json \
       --bench BM_FacsPDecide [--factor 1.25]
+  FACSP_BENCH_JSON=/tmp/mc.json bench/bench_multicell
+  tools/check_bench_regression.py /tmp/mc.json bench/BENCH_multicell.json \
+      --rate --bench sparse100_events_s --bench sparse1000_events_s
 
 Repetition runs (``--benchmark_repetitions=N`` or ``->Repetitions(N)``)
 are handled: aggregate rows (mean/median/stddev) are skipped, the
@@ -76,6 +85,33 @@ def measured_times(report):
     return measured
 
 
+def check_rates(report, baseline, guarded, factor):
+    """Throughput guard (--rate): returns the list of failed keys, printing
+    one verdict line per guarded key.  Rates are higher-is-better, so the
+    floor is baseline / factor."""
+    failed = []
+    for name in guarded:
+        base = baseline.get(name)
+        got = report.get(name)
+        if not isinstance(base, (int, float)) or base <= 0:
+            print(f"FAIL {name}: no positive baseline rate recorded")
+            failed.append(name)
+            continue
+        if not isinstance(got, (int, float)) or got <= 0:
+            print(f"FAIL {name}: missing from benchmark report")
+            failed.append(name)
+            continue
+        floor = base / factor
+        verdict = "FAIL" if got < floor else "ok"
+        print(
+            f"{verdict:4s} {name}: {got:.1f}/s vs baseline {base:.1f}/s "
+            f"(floor {floor:.1f})"
+        )
+        if got < floor:
+            failed.append(name)
+    return failed
+
+
 def selftest():
     entries = [
         {"name": "BM_A/repeats:3", "run_type": "iteration",
@@ -106,6 +142,16 @@ def selftest():
     assert base_name("BM_X/repeats:5") == "BM_X"
     assert base_name("BM_X/256/repeats:5") == "BM_X/256"
     assert base_name("BM_X/256") == "BM_X/256"
+
+    # --rate mode: within budget, below the floor, missing, bad baseline.
+    baseline = {"a_events_s": 1000.0, "b_events_s": 500.0, "bad": 0}
+    assert check_rates({"a_events_s": 900.0}, baseline,
+                       ["a_events_s"], 1.25) == []
+    assert check_rates({"a_events_s": 700.0}, baseline,
+                       ["a_events_s"], 1.25) == ["a_events_s"]
+    assert check_rates({"a_events_s": 900.0}, baseline,
+                       ["b_events_s"], 1.25) == ["b_events_s"]
+    assert check_rates({"bad": 5.0}, baseline, ["bad"], 1.25) == ["bad"]
     print("selftest ok")
     return 0
 
@@ -130,13 +176,22 @@ def main():
         default=1.25,
         help="regression budget multiplier over current_ns (default 1.25)",
     )
+    parser.add_argument(
+        "--rate",
+        action="store_true",
+        help="flat throughput mode: report/baseline are {key: rate} objects, "
+        "fail when a guarded rate drops below baseline / factor",
+    )
     args = parser.parse_args()
     guarded = args.bench or ["BM_FacsPDecide"]
 
     with open(args.report) as f:
         report = json.load(f)
     with open(args.baseline) as f:
-        baseline = json.load(f)["benchmarks"]
+        baseline = json.load(f)
+    if args.rate:
+        return 1 if check_rates(report, baseline, guarded, args.factor) else 0
+    baseline = baseline["benchmarks"]
 
     try:
         measured = measured_times(report)
